@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces Fig. 12: POM vs ScaleHLS speedups across problem sizes
+ * (32..8192) on the typical HLS benchmarks. The paper's shape: both
+ * scale steadily up to 2048; ScaleHLS declines at 4096 and collapses to
+ * basic pipelining at 8192, while POM keeps producing high-quality
+ * designs; for tiny GESUMMV, POM can be slightly behind.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace pom;
+
+int
+main()
+{
+    const std::int64_t sizes[] = {32, 128, 512, 2048, 4096, 8192};
+    const char *benchmarks[] = {"gemm", "bicg", "gesummv", "2mm", "3mm"};
+
+    std::printf("=== Fig. 12: scalability across problem sizes ===\n\n");
+    std::printf("%-8s %8s %14s %14s\n", "Bench", "Size", "ScaleHLS",
+                "POM");
+
+    for (const char *name : benchmarks) {
+        for (std::int64_t n : sizes) {
+            auto base_w = workloads::makeByName(name, n);
+            auto base = baselines::runUnoptimized(base_w->func());
+
+            auto w_sc = workloads::makeByName(name, n);
+            auto sc = baselines::runScaleHlsLike(w_sc->func());
+            auto w_pom = workloads::makeByName(name, n);
+            auto pom = baselines::runPom(w_pom->func());
+
+            std::printf("%-8s %8lld %14s %14s%s\n", name,
+                        static_cast<long long>(n),
+                        benchutil::speedupCell(
+                            sc.report.speedupOver(base.report))
+                            .c_str(),
+                        benchutil::speedupCell(
+                            pom.report.speedupOver(base.report))
+                            .c_str(),
+                        sc.notes.find("basic pipelining") !=
+                                std::string::npos
+                            ? "   (ScaleHLS: pipeline-only)"
+                            : "");
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Reproduces Fig. 14: impact analysis of scheduling primitives. Each
+ * benchmark is compiled with increasing sets of primitives (LP = loop
+ * pipelining, LU = loop unrolling, AP = array partitioning, LT = loop
+ * tiling, LI = loop interchange, LSK = loop skewing) and the speedup /
+ * DSP usage of each configuration is reported. The paper's observation:
+ * which primitive matters depends on the kernel -- EdgeDetect gains most
+ * from pipelining, Seidel needs skewing first, 2MM needs the full
+ * combination.
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.h"
+#include "driver/compiler.h"
+
+using namespace pom;
+
+namespace {
+
+void
+report(const char *bench, const char *config,
+       const hls::SynthesisReport &rep, const hls::SynthesisReport &base)
+{
+    std::printf("%-11s %-18s %9s %6d DSP %8s II\n", bench, config,
+                benchutil::speedupCell(rep.speedupOver(base)).c_str(),
+                rep.resources.dsp, benchutil::iiCell(rep).c_str());
+}
+
+/** 2MM with progressively richer schedules. */
+void
+run2mm()
+{
+    const std::int64_t n = 1024;
+    auto base_w = workloads::make2mm(n);
+    auto base = baselines::runUnoptimized(base_w->func());
+
+    auto with = [&](const char *config,
+                    std::function<void(workloads::Workload &)> schedule) {
+        auto w = workloads::make2mm(n);
+        schedule(*w);
+        auto r = driver::compile(w->func());
+        report("2mm", config, r.report, base.report);
+    };
+
+    with("LP", [](workloads::Workload &w) {
+        for (auto *c : w.func().computes())
+            c->pipeline(c->iters().back(), 1);
+    });
+    with("LP+LU", [](workloads::Workload &w) {
+        for (auto *c : w.func().computes()) {
+            c->pipeline(c->iters()[1], 1);
+            c->unroll(c->iters().back(), 8);
+        }
+    });
+    with("LT+LP+LU+AP", [](workloads::Workload &w) {
+        int idx = 0;
+        for (auto *c : w.func().computes()) {
+            dsl::Var i0("ti0_" + std::to_string(idx)),
+                j0("tj0_" + std::to_string(idx)),
+                i1("ti1_" + std::to_string(idx)),
+                j1("tj1_" + std::to_string(idx));
+            c->tile(c->iters()[0], c->iters()[1], 2, 8, i0, j0, i1, j1);
+            c->pipeline(j0, 1);
+            c->unroll(i1, 0);
+            c->unroll(j1, 0);
+            ++idx;
+        }
+        for (auto *p : w.func().placeholders()) {
+            std::vector<std::int64_t> factors(p->shape().size(), 8);
+            w.func().findPlaceholderMut(p->name())->partition(factors,
+                                                              "cyclic");
+        }
+    });
+    {
+        auto w = workloads::make2mm(n);
+        auto r = baselines::runPom(w->func());
+        report("2mm", "auto_DSE (all)", r.report, base.report);
+    }
+}
+
+/** EdgeDetect: pipelining already captures most of the benefit. */
+void
+runEdgeDetect()
+{
+    const std::int64_t n = 1024;
+    auto base_w = workloads::makeEdgeDetect(n);
+    auto base = baselines::runUnoptimized(base_w->func());
+
+    {
+        auto w = workloads::makeEdgeDetect(n);
+        for (auto *c : w->func().computes())
+            c->pipeline(c->iters().back(), 1);
+        auto r = driver::compile(w->func());
+        report("edgedetect", "LP", r.report, base.report);
+    }
+    {
+        auto w = workloads::makeEdgeDetect(n);
+        int idx = 0;
+        for (auto *c : w->func().computes()) {
+            dsl::Var o("uo_" + std::to_string(idx)),
+                in("ui_" + std::to_string(idx));
+            c->split(c->iters().back(), 8, o, in);
+            c->pipeline(o, 1);
+            c->unroll(in, 0);
+            ++idx;
+        }
+        for (auto *p : w->func().placeholders()) {
+            std::vector<std::int64_t> factors(p->shape().size(), 1);
+            factors.back() = 8;
+            w->func().findPlaceholderMut(p->name())->partition(factors,
+                                                               "cyclic");
+        }
+        auto r = driver::compile(w->func());
+        report("edgedetect", "LP+LU+AP", r.report, base.report);
+    }
+    {
+        auto w = workloads::makeEdgeDetect(n);
+        auto r = baselines::runPom(w->func());
+        report("edgedetect", "auto_DSE (all)", r.report, base.report);
+    }
+}
+
+/** Seidel: pipelining alone is II-bound; skewing unlocks it. */
+void
+runSeidel()
+{
+    const std::int64_t n = 256;
+    auto base_w = workloads::makeSeidel2d(n, n / 16);
+    auto base = baselines::runUnoptimized(base_w->func());
+
+    {
+        auto w = workloads::makeSeidel2d(n, n / 16);
+        for (auto *c : w->func().computes())
+            c->pipeline(c->iters().back(), 1);
+        auto r = driver::compile(w->func());
+        report("seidel", "LP", r.report, base.report);
+    }
+    {
+        auto w = workloads::makeSeidel2d(n, n / 16);
+        dsl::Compute *c = w->func().computes()[0];
+        dsl::Var i = c->iters()[1], j = c->iters()[2];
+        dsl::Var ip("ip"), jp("jp");
+        c->skew(i, j, 1, ip, jp);
+        c->interchange(ip, jp);
+        c->pipeline(ip, 1);
+        auto r = driver::compile(w->func());
+        report("seidel", "LSK+LI+LP", r.report, base.report);
+    }
+    {
+        auto w = workloads::makeSeidel2d(n, n / 16);
+        auto r = baselines::runPom(w->func());
+        report("seidel", "auto_DSE (all)", r.report, base.report);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Fig. 14: impact analysis of scheduling primitives "
+                "===\n\n");
+    std::printf("%-11s %-18s %9s %10s %11s\n", "Benchmark", "Primitives",
+                "Speedup", "Resources", "Achieved");
+    runEdgeDetect();
+    runSeidel();
+    run2mm();
+    std::printf("\nExpected shape (paper Fig. 14): pipelining alone "
+                "helps EdgeDetect most;\nSeidel barely moves without "
+                "skewing; 2MM needs the full combination of loop\n"
+                "transformations and hardware optimizations.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces Table IV: BICG optimized by an FPGA expert by hand (manual
+ * primitives in the DSL) versus the automatic DSE. The paper reports
+ * the DSE design 1.39x faster than the manual one while using fewer
+ * resources.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "driver/compiler.h"
+
+using namespace pom;
+
+namespace {
+
+/**
+ * The "expert" manual schedule: interchange the q-statement's loops so
+ * each statement's reduction moves outward where possible, tile the
+ * remaining parallel dimension by 8 (a sensible but not optimal
+ * factor), pipeline and unroll, and partition the arrays.
+ */
+driver::CompileResult
+manualDesign(std::int64_t n)
+{
+    dsl::Function f("bicg_manual");
+    dsl::Var i("i", 0, n), j("j", 0, n);
+    dsl::Placeholder A(f, "A", {n, n});
+    dsl::Placeholder p(f, "p", {n});
+    dsl::Placeholder r(f, "r", {n});
+    dsl::Placeholder q(f, "q", {n});
+    dsl::Placeholder s(f, "s", {n});
+    dsl::Compute sq(f, "s_q", {i, j}, q(i) + A(i, j) * p(j), q(i));
+    dsl::Compute ss(f, "s_s", {i, j}, s(j) + r(i) * A(i, j),
+                           s(j));
+    // Manual restructuring: q accumulates over j, so bring i inner for
+    // s_q; s accumulates over i, keep j inner for s_s; run the two
+    // nests separately (the expert could not merge them back).
+    dsl::Var io("io"), ii("ii"), jo("jo"), ji("ji");
+    sq.interchange(i, j);
+    sq.split(i, 16, io, ii);
+    sq.pipeline(io, 1);
+    sq.unroll(ii, 0);
+    ss.split(j, 16, jo, ji);
+    ss.pipeline(jo, 1);
+    ss.unroll(ji, 0);
+    ss.after(sq);
+    A.partition({16, 16}, "cyclic");
+    q.partition({16}, "cyclic");
+    s.partition({16}, "cyclic");
+    p.partition({16}, "cyclic");
+    r.partition({16}, "cyclic");
+    return driver::compile(f);
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::int64_t n = 4096;
+    const auto device = hls::Device::xc7z020();
+
+    std::printf("=== Table IV: manual optimization vs DSE (BICG, N=%lld) "
+                "===\n\n",
+                static_cast<long long>(n));
+
+    auto base_w = workloads::makeBicg(n);
+    auto base = baselines::runUnoptimized(base_w->func());
+
+    auto manual = manualDesign(n);
+
+    auto dse_w = workloads::makeBicg(n);
+    auto dse = baselines::runPom(dse_w->func());
+
+    std::printf("%-12s %14s %9s %11s %13s %13s\n", "Design", "Cycles",
+                "Speedup", "DSP(Util%)", "FF(Util%)", "LUT(Util%)");
+    auto row = [&](const char *name, const hls::SynthesisReport &rep) {
+        std::printf("%-12s %14llu %9s %11s %13s %13s\n", name,
+                    static_cast<unsigned long long>(rep.latencyCycles),
+                    benchutil::speedupCell(rep.speedupOver(base.report))
+                        .c_str(),
+                    benchutil::util(rep.resources.dsp, device.dsp).c_str(),
+                    benchutil::util(rep.resources.ff, device.ff).c_str(),
+                    benchutil::util(rep.resources.lut, device.lut)
+                        .c_str());
+    };
+    row("Unoptimized", base.report);
+    row("Manual opt.", manual.report);
+    row("DSE opt.", dse.report);
+
+    std::printf("\nExpected shape (paper): the DSE design beats the "
+                "manual one (1.39x there)\nbecause split-interchange-"
+                "merge re-fuses the two statements into one pipeline.\n");
+    return 0;
+}

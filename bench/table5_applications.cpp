@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces Table V: real-world applications -- image processing
+ * (EdgeDetect, Gaussian, Blur at 4096) and DNNs (VGG-16, ResNet-18 at
+ * 512) -- comparing ScaleHLS-like and POM with the P/S ratio columns.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace pom;
+
+namespace {
+
+void
+runRow(const char *name, std::int64_t size)
+{
+    const auto device = hls::Device::xc7z020();
+    auto base_w = workloads::makeByName(name, size);
+    auto base = baselines::runUnoptimized(base_w->func());
+
+    auto w_sc = workloads::makeByName(name, size);
+    auto sc = baselines::runScaleHlsLike(w_sc->func());
+    auto w_pom = workloads::makeByName(name, size);
+    auto pom = baselines::runPom(w_pom->func());
+
+    double s_sc = sc.report.speedupOver(base.report);
+    double s_pom = pom.report.speedupOver(base.report);
+    std::printf("%-11s %6lld | %8s %8s %5.1f | %10s %10s %5.1f | %12s "
+                "%12s %5.1f%s\n",
+                name, static_cast<long long>(size),
+                benchutil::speedupCell(s_sc).c_str(),
+                benchutil::speedupCell(s_pom).c_str(), s_pom / s_sc,
+                benchutil::util(sc.report.resources.dsp, device.dsp)
+                    .c_str(),
+                benchutil::util(pom.report.resources.dsp, device.dsp)
+                    .c_str(),
+                sc.report.resources.dsp > 0
+                    ? static_cast<double>(pom.report.resources.dsp) /
+                          sc.report.resources.dsp
+                    : 0.0,
+                benchutil::util(sc.report.resources.lut, device.lut)
+                    .c_str(),
+                benchutil::util(pom.report.resources.lut, device.lut)
+                    .c_str(),
+                sc.report.resources.lut > 0
+                    ? static_cast<double>(pom.report.resources.lut) /
+                          sc.report.resources.lut
+                    : 0.0,
+                sc.report.resources.fitsIn(device)
+                    ? ""
+                    : "   (ScaleHLS exceeds device!)");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table V: image processing and DNN applications "
+                "===\n\n");
+    std::printf("%-11s %6s | %8s %8s %5s | %10s %10s %5s | %12s %12s "
+                "%5s\n",
+                "App", "Size", "SC spd", "POM spd", "P/S", "SC DSP",
+                "POM DSP", "P/S", "SC LUT", "POM LUT", "P/S");
+
+    std::printf("-- Image processing --\n");
+    runRow("edgedetect", 4096);
+    runRow("gaussian", 4096);
+    runRow("blur", 4096);
+
+    std::printf("-- DNN --\n");
+    runRow("vgg16", 512);
+    runRow("resnet18", 512);
+
+    std::printf("\nExpected shape (paper): POM 2-6x faster on image "
+                "kernels with higher utilization;\nfor DNNs POM's "
+                "resource reuse beats the dataflow mapping on VGG-16 "
+                "(P/S 2.6)\nwhile ScaleHLS's ResNet-18 design exceeds "
+                "the device budget.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Table VII: benchmarks with complicated data access
+ * patterns and tight loop-carried dependences (Jacobi-1d, Jacobi-2d,
+ * Heat-1d, Seidel). POM's skewing support is what unlocks these; the
+ * paper notes ScaleHLS and POLSCA fail to improve them much and that
+ * resource utilization stays low because the dependences bound the
+ * attainable parallelism.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace pom;
+
+int
+main()
+{
+    const auto device = hls::Device::xc7z020();
+    struct Case
+    {
+        const char *name;
+        std::int64_t size;
+    };
+    const Case cases[] = {{"jacobi1d", 4096},
+                          {"jacobi2d", 1024},
+                          {"heat1d", 4096},
+                          {"seidel", 1024}};
+
+    std::printf("=== Table VII: complicated code patterns ===\n\n");
+    std::printf("%-9s %9s %11s %13s %13s %8s | %9s %9s\n", "Benchmark",
+                "Speedup", "DSP(Util%)", "FF(Util%)", "LUT(Util%)", "II",
+                "ScaleHLS", "POLSCA");
+
+    for (const auto &[name, size] : cases) {
+        auto base_w = workloads::makeByName(name, size);
+        auto base = baselines::runUnoptimized(base_w->func());
+
+        auto w_pom = workloads::makeByName(name, size);
+        auto pom = baselines::runPom(w_pom->func());
+        auto w_sc = workloads::makeByName(name, size);
+        auto sc = baselines::runScaleHlsLike(w_sc->func());
+        auto w_po = workloads::makeByName(name, size);
+        auto po = baselines::runPolscaLike(w_po->func());
+
+        const auto &rep = pom.report;
+        std::printf("%-9s %9s %11s %13s %13s %8s | %9s %9s\n", name,
+                    benchutil::speedupCell(rep.speedupOver(base.report))
+                        .c_str(),
+                    benchutil::util(rep.resources.dsp, device.dsp)
+                        .c_str(),
+                    benchutil::util(rep.resources.ff, device.ff).c_str(),
+                    benchutil::util(rep.resources.lut, device.lut)
+                        .c_str(),
+                    benchutil::iiCell(rep).c_str(),
+                    benchutil::speedupCell(
+                        sc.report.speedupOver(base.report))
+                        .c_str(),
+                    benchutil::speedupCell(
+                        po.report.speedupOver(base.report))
+                        .c_str());
+    }
+
+    std::printf("\nExpected shape (paper): POM improves these 22.9x to "
+                "136x (the skewing payoff)\nwhile the comparators stay "
+                "far behind; utilization ratios stay modest because\n"
+                "loop-carried dependences bound the parallelism.\n");
+    return 0;
+}

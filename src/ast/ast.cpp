@@ -1,0 +1,103 @@
+#include "ast/ast.h"
+
+#include <sstream>
+
+#include "support/diagnostics.h"
+#include "support/string_util.h"
+
+namespace pom::ast {
+
+AstNodePtr
+makeNode(AstNode::Kind kind)
+{
+    return std::make_unique<AstNode>(kind);
+}
+
+namespace {
+
+std::vector<std::string>
+prefixNames(size_t n)
+{
+    std::vector<std::string> names;
+    names.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        names.push_back("c" + std::to_string(i));
+    return names;
+}
+
+std::string
+boundStr(const poly::Bound &b, bool is_lower)
+{
+    std::string expr = b.expr.str(prefixNames(b.expr.numDims()));
+    if (b.divisor == 1)
+        return expr;
+    return std::string(is_lower ? "ceil" : "floor") + "((" + expr + ")/" +
+           std::to_string(b.divisor) + ")";
+}
+
+void
+printNode(const AstNode &node, int indent, std::ostringstream &os)
+{
+    std::string pad = pom::support::repeat("  ", indent);
+    switch (node.kind()) {
+      case AstNode::Kind::For: {
+        os << pad << "for " << node.iterName << " = ";
+        os << pom::support::joinMapped(node.bounds.lower, ", ",
+            [](const poly::Bound &b) { return boundStr(b, true); });
+        if (node.bounds.lower.size() > 1)
+            os << " (max)";
+        os << " .. ";
+        os << pom::support::joinMapped(node.bounds.upper, ", ",
+            [](const poly::Bound &b) { return boundStr(b, false); });
+        if (node.bounds.upper.size() > 1)
+            os << " (min)";
+        if (node.hw.pipelineII)
+            os << " [pipeline II=" << *node.hw.pipelineII << "]";
+        if (node.hw.unrollFactor != 1) {
+            if (node.hw.unrollFactor == 0)
+                os << " [unroll full]";
+            else
+                os << " [unroll " << node.hw.unrollFactor << "]";
+        }
+        os << "\n";
+        for (const auto &c : node.children)
+            printNode(*c, indent + 1, os);
+        break;
+      }
+      case AstNode::Kind::If: {
+        os << pad << "if (";
+        for (size_t i = 0; i < node.conditions.size(); ++i) {
+            if (i)
+                os << " && ";
+            const auto &c = node.conditions[i];
+            os << c.expr.str(prefixNames(c.expr.numDims()))
+               << (c.isEq ? " == 0" : " >= 0");
+        }
+        os << ")\n";
+        for (const auto &c : node.children)
+            printNode(*c, indent + 1, os);
+        break;
+      }
+      case AstNode::Kind::Block: {
+        for (const auto &c : node.children)
+            printNode(*c, indent, os);
+        break;
+      }
+      case AstNode::Kind::User: {
+        os << pad << node.stmtName << "(" << node.iterMap.str() << ")\n";
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+AstNode::str(int indent) const
+{
+    std::ostringstream os;
+    printNode(*this, indent, os);
+    return os.str();
+}
+
+} // namespace pom::ast

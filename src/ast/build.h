@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Polyhedral AST construction (the isl `ast_build` equivalent, paper
+ * §V.B): given each statement's transformed iteration domain, its static
+ * ordering constants (the beta vector of a 2d+1 schedule) and a map back
+ * to the original iterators, produce the for/if/block/user tree.
+ *
+ * Schedules here are in the classic 2d+1 form
+ *   [beta_0, d_0, beta_1, d_1, ..., d_{n-1}, beta_n]
+ * where the dynamic dimensions are the statement's (already transformed)
+ * domain dimensions in nesting order and the betas interleave static
+ * statement ordering. Loop transformations change the domain and the
+ * origin map; `after`/fusion change the betas.
+ */
+
+#ifndef POM_AST_BUILD_H
+#define POM_AST_BUILD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "poly/affine_map.h"
+#include "poly/integer_set.h"
+
+namespace pom::ast {
+
+/** One statement ready for AST generation. */
+struct ScheduledStmt
+{
+    std::string name;
+
+    /** Transformed iteration domain; dims are loop dims in nest order. */
+    poly::IntegerSet domain;
+
+    /** Static ordering constants; size == domain.numDims() + 1. */
+    std::vector<std::int64_t> betas;
+
+    /**
+     * Map (transformed dims) -> (original iterator tuple), used to
+     * rewrite the statement body after transformation. For an untouched
+     * statement this is the identity.
+     */
+    poly::AffineMap origMap;
+
+    /** Per-loop-dimension hardware annotations; size == numDims(). */
+    std::vector<HwAnnotation> hwPerDim;
+
+    /** Identity-scheduled statement over @p domain. */
+    static ScheduledStmt identity(std::string name, poly::IntegerSet domain);
+};
+
+/**
+ * Build the polyhedral AST for a set of statements.
+ *
+ * Statements whose beta prefixes coincide share loops (fusion); their
+ * bounds at every shared level must agree (checked; fatal otherwise,
+ * mirroring the affine-dialect fusion restriction discussed in §V.B).
+ * Constraints of a statement's domain that are not implied by the
+ * enclosing loop bounds become if-node guards around its user node.
+ *
+ * @throws pom::support::FatalError on malformed schedules.
+ */
+AstNodePtr buildAst(const std::vector<ScheduledStmt> &stmts);
+
+} // namespace pom::ast
+
+#endif // POM_AST_BUILD_H

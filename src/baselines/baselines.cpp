@@ -1,0 +1,311 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <optional>
+
+#include "graph/dependence_graph.h"
+#include "hls/count.h"
+#include "support/diagnostics.h"
+
+namespace pom::baselines {
+
+using graph::DependenceGraph;
+using graph::Hint;
+using transform::PolyStmt;
+
+namespace {
+
+double
+elapsedSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+hls::EstimatorOptions
+estOptions(const BaselineOptions &options, hls::SharingMode sharing)
+{
+    hls::EstimatorOptions eo;
+    eo.device = options.device.scaled(options.resourceFraction);
+    eo.sharing = sharing;
+    return eo;
+}
+
+/** Largest loop trip count of the program (problem-size proxy). */
+std::int64_t
+maxTrip(const std::vector<PolyStmt> &stmts)
+{
+    std::int64_t m = 0;
+    for (const auto &s : stmts) {
+        for (auto t : hls::avgTrips(s.sched.domain))
+            m = std::max(m, t);
+    }
+    return m;
+}
+
+/** Pluto-style locality tiling: tile the two innermost levels. */
+void
+plutoTile(PolyStmt &stmt, std::int64_t tile)
+{
+    size_t n = stmt.numDims();
+    auto trips = hls::avgTrips(stmt.sched.domain);
+    // Tile the innermost two loops when they are large enough; this is
+    // the locality-oriented schedule Pluto would emit for CPUs.
+    if (n >= 2 && trips[n - 1] >= 2 * tile && trips[n - 2] >= 2 * tile) {
+        std::string a = stmt.sched.domain.dimName(n - 2);
+        std::string b = stmt.sched.domain.dimName(n - 1);
+        transform::tile(stmt, a, b, tile, tile, a + "_T", b + "_T",
+                        a + "_P", b + "_P");
+    } else if (trips[n - 1] >= 2 * tile) {
+        std::string b = stmt.sched.domain.dimName(n - 1);
+        transform::split(stmt, b, tile, b + "_T", b + "_P");
+    }
+}
+
+} // namespace
+
+BaselineResult
+runUnoptimized(dsl::Function &func, const BaselineOptions &options)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    BaselineResult result;
+    auto stmts = lower::extractStmts(func);
+    lower::applyDirectives(stmts, /*ordering_only=*/true);
+    result.design = lower::lowerStmts(func, std::move(stmts));
+    result.report = hls::estimate(func, result.design,
+                                  estOptions(options,
+                                             hls::SharingMode::Reuse));
+    result.seconds = elapsedSince(t0);
+    result.notes = "no optimization";
+    return result;
+}
+
+BaselineResult
+runPlutoLike(dsl::Function &func, const BaselineOptions &options)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    auto stmts = lower::extractStmts(func);
+    lower::applyDirectives(stmts, /*ordering_only=*/true);
+    for (auto &s : stmts)
+        plutoTile(s, options.plutoTileSize);
+
+    BaselineResult result;
+    result.design = lower::lowerStmts(func, std::move(stmts));
+    result.report = hls::estimate(func, result.design,
+                                  estOptions(options,
+                                             hls::SharingMode::Reuse));
+    result.seconds = elapsedSince(t0);
+    result.notes = "locality tiling only (CPU-oriented schedule)";
+    return result;
+}
+
+BaselineResult
+runPolscaLike(dsl::Function &func, const BaselineOptions &options)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    auto stmts = lower::extractStmts(func);
+    lower::applyDirectives(stmts, /*ordering_only=*/true);
+    for (auto &s : stmts) {
+        plutoTile(s, options.plutoTileSize);
+        // Pipeline the innermost loop; the Pluto schedule has not
+        // relieved loop-carried dependences and arrays stay
+        // unpartitioned (paper §VII.B).
+        transform::setPipeline(
+            s, s.sched.domain.dimName(s.numDims() - 1), 1);
+    }
+    for (const dsl::Placeholder *p : func.placeholders())
+        func.findPlaceholderMut(p->name())->clearPartition();
+
+    BaselineResult result;
+    result.design = lower::lowerStmts(func, std::move(stmts));
+    result.report = hls::estimate(func, result.design,
+                                  estOptions(options,
+                                             hls::SharingMode::Reuse));
+    result.seconds = elapsedSince(t0);
+    result.notes = "Pluto schedule + innermost pipelining, no "
+                   "partitioning";
+    return result;
+}
+
+BaselineResult
+runScaleHlsLike(dsl::Function &func, const BaselineOptions &options)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    auto stmts = lower::extractStmts(func);
+    lower::applyDirectives(stmts, /*ordering_only=*/true);
+    hls::Device device = options.device.scaled(options.resourceFraction);
+    auto eo = estOptions(options, hls::SharingMode::Dataflow);
+
+    // Loop-order optimization: apply the leading statement's preferred
+    // interchange uniformly to every statement of the nest. Without
+    // split-interchange-merge, conflicting statements lose out (the
+    // paper's BICG discussion, Fig. 2(d)).
+    {
+        DependenceGraph graph(stmts);
+        std::map<std::int64_t, Hint> nest_hint;
+        for (size_t i = 0; i < stmts.size(); ++i) {
+            std::int64_t nest = stmts[i].sched.betas[0];
+            if (nest_hint.count(nest))
+                continue;
+            Hint h = graph.suggest(i);
+            if (h.kind == Hint::Kind::Interchange)
+                nest_hint[nest] = h;
+        }
+        for (size_t i = 0; i < stmts.size(); ++i) {
+            auto it = nest_hint.find(stmts[i].sched.betas[0]);
+            if (it == nest_hint.end())
+                continue;
+            const Hint &h = it->second;
+            if (h.toLevel < stmts[i].numDims() &&
+                h.fromLevel < stmts[i].numDims()) {
+                transform::interchange(
+                    stmts[i], stmts[i].sched.domain.dimName(h.fromLevel),
+                    stmts[i].sched.domain.dimName(h.toLevel));
+            }
+        }
+    }
+
+    BaselineResult result;
+
+    // Bounded design space: at very large problem sizes the search
+    // degrades to basic pipelining (the Fig. 12 cliff).
+    if (maxTrip(stmts) >= options.scaleHlsSizeCliff) {
+        for (auto &s : stmts) {
+            transform::setPipeline(
+                s, s.sched.domain.dimName(s.numDims() - 1), 1);
+        }
+        for (const dsl::Placeholder *p : func.placeholders())
+            func.findPlaceholderMut(p->name())->clearPartition();
+        result.design = lower::lowerStmts(func, std::move(stmts));
+        result.report = hls::estimate(func, result.design, eo);
+        result.seconds = elapsedSince(t0);
+        result.notes = "design space too large; basic pipelining only";
+        return result;
+    }
+
+    // Greedy per-nest optimization in program order, without bottleneck
+    // switching: each nest maximizes its own parallelism against the
+    // remaining budget (dataflow accounting: resources accumulate).
+    std::map<std::int64_t, std::vector<size_t>> nests;
+    for (size_t i = 0; i < stmts.size(); ++i)
+        nests[stmts[i].sched.betas[0]].push_back(i);
+
+    std::map<std::int64_t, std::int64_t> degree;
+    for (const auto &[nest, members] : nests)
+        degree[nest] = 1;
+
+    auto sharedDepth = [](const std::vector<PolyStmt> &all,
+                          const std::vector<size_t> &members) {
+        size_t depth = SIZE_MAX;
+        const auto &first = all[members[0]].sched.betas;
+        for (size_t m = 1; m < members.size(); ++m) {
+            const auto &other = all[members[m]].sched.betas;
+            size_t common = 0;
+            size_t limit = std::min(first.size(), other.size());
+            while (common < limit && first[common] == other[common])
+                ++common;
+            depth = std::min(depth, common);
+        }
+        return depth == SIZE_MAX ? size_t(0) : depth;
+    };
+    auto anyProducer = [](const std::vector<PolyStmt> &all,
+                          const std::vector<size_t> &members) {
+        for (size_t a : members) {
+            for (size_t b : members) {
+                if (a != b && poly::producesFor(all[a].accesses,
+                                                all[b].accesses)) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    };
+
+    // ScaleHLS's directive DSE explores tile/unroll factors; model it by
+    // trying both the dependence-aware placement and the positional
+    // (dependence-oblivious) one and keeping whichever synthesizes
+    // better. What it structurally lacks -- split-interchange-merge and
+    // skewing -- stays unavailable, so statements in a conflicted nest
+    // (BICG) end up with the dependence-oblivious variant only.
+    auto evaluateVariant = [&](const std::vector<PolyStmt> &snapshot,
+                               bool ignore_carried) {
+        std::vector<PolyStmt> base = snapshot;
+        std::map<std::string, std::vector<std::int64_t>> partitions;
+        for (const auto &[nest, members] : nests) {
+            size_t min_level = 0;
+            if (members.size() > 1 && anyProducer(base, members))
+                min_level = sharedDepth(base, members);
+            for (size_t m : members) {
+                dse::applyParallelSchedule(base[m], degree[nest],
+                                           options.innerUnrollCap, func,
+                                           partitions, min_level,
+                                           ignore_carried);
+            }
+        }
+        dse::applyPartitions(func, partitions);
+        BaselineResult r;
+        r.design = lower::lowerStmts(func, std::move(base));
+        r.report = hls::estimate(func, r.design, eo);
+        return r;
+    };
+    auto evaluate = [&](const std::vector<PolyStmt> &snapshot) {
+        std::optional<BaselineResult> best;
+        for (bool oblivious : {false, true}) {
+            try {
+                BaselineResult r = evaluateVariant(snapshot, oblivious);
+                if (!best ||
+                    r.report.latencyCycles < best->report.latencyCycles) {
+                    best = std::move(r);
+                }
+            } catch (const support::FatalError &) {
+                // Divergent per-statement placement in a fused nest:
+                // this variant is structurally unavailable to ScaleHLS.
+            }
+        }
+        POM_ASSERT(best.has_value(), "no ScaleHLS variant lowered");
+        return std::move(*best);
+    };
+
+    result = evaluate(stmts);
+    for (auto &[nest, members] : nests) {
+        while (degree[nest] * 2 <= options.maxParallelism) {
+            std::int64_t saved = degree[nest];
+            degree[nest] *= 2;
+            BaselineResult trial = evaluate(stmts);
+            if (!trial.report.resources.fitsIn(device) ||
+                trial.report.latencyCycles >= result.report.latencyCycles) {
+                degree[nest] = saved;
+                break;
+            }
+            result = std::move(trial);
+        }
+    }
+    // Re-materialize the chosen configuration (restores partitions).
+    result = evaluate(stmts);
+    result.seconds = elapsedSince(t0);
+    result.notes = "interchange + greedy tile/unroll/partition DSE";
+    return result;
+}
+
+BaselineResult
+runPom(dsl::Function &func, const BaselineOptions &options)
+{
+    dse::DseOptions dopt;
+    dopt.device = options.device;
+    dopt.resourceFraction = options.resourceFraction;
+    dopt.maxParallelism = options.maxParallelism;
+    dopt.innerUnrollCap = options.innerUnrollCap;
+    dse::DseResult dres = dse::autoDSE(func, dopt);
+
+    BaselineResult result;
+    result.design = std::move(dres.design);
+    result.report = std::move(dres.report);
+    result.seconds = dres.dseSeconds;
+    result.notes = "POM two-stage DSE";
+    return result;
+}
+
+} // namespace pom::baselines

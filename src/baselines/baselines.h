@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Strategy re-implementations of the frameworks POM is compared against
+ * (paper §II.C, §VII). Each baseline runs on the same substrate (DSL ->
+ * polyhedral IR -> affine dialect -> synthesis estimator) but applies
+ * the optimization strategy the paper attributes to it:
+ *
+ *  - Unoptimized: the input program as-is (the speedup denominator).
+ *  - Pluto-like: CPU-oriented polyhedral scheduling -- locality tiling
+ *    of the loop nest, no FPGA directives at all.
+ *  - POLSCA-like: the Pluto schedule plus HLS pipelining of the
+ *    innermost loop, but no dependence-aware restructuring and no array
+ *    partitioning for large arrays (the paper's §VII.B observations).
+ *  - ScaleHLS-like: loop-order optimization (interchange) applied
+ *    uniformly to a nest plus a greedy tile/unroll/partition DSE --
+ *    but no split-interchange-merge, no skewing, no bottleneck
+ *    switching, dataflow-style (unshared) resources between nests, and
+ *    a bounded design space that degrades to pipeline-only at very
+ *    large problem sizes (Fig. 12's observed cliff at 8192).
+ */
+
+#ifndef POM_BASELINES_BASELINES_H
+#define POM_BASELINES_BASELINES_H
+
+#include <string>
+
+#include "dse/dse.h"
+#include "dsl/dsl.h"
+#include "hls/estimator.h"
+#include "lower/lower.h"
+
+namespace pom::baselines {
+
+/** Outcome of running one baseline strategy. */
+struct BaselineResult
+{
+    lower::LoweredFunction design;
+    hls::SynthesisReport report;
+    double seconds = 0.0;
+    std::string notes;
+};
+
+/** Common configuration for all baselines. */
+struct BaselineOptions
+{
+    hls::Device device = hls::Device::xc7z020();
+    double resourceFraction = 1.0;
+    std::int64_t plutoTileSize = 32;
+    std::int64_t maxParallelism = 64;
+    std::int64_t innerUnrollCap = 16;
+
+    /** Problem size beyond which the ScaleHLS-like DSE degrades. */
+    std::int64_t scaleHlsSizeCliff = 8192;
+};
+
+/** The input program without any optimization. */
+BaselineResult runUnoptimized(dsl::Function &func,
+                              const BaselineOptions &options = {});
+
+/** Pluto-like locality tiling, no FPGA directives. */
+BaselineResult runPlutoLike(dsl::Function &func,
+                            const BaselineOptions &options = {});
+
+/** POLSCA-like: Pluto tiling + innermost pipelining, no partitioning. */
+BaselineResult runPolscaLike(dsl::Function &func,
+                             const BaselineOptions &options = {});
+
+/** ScaleHLS-like: interchange + greedy tile/unroll/partition DSE. */
+BaselineResult runScaleHlsLike(dsl::Function &func,
+                               const BaselineOptions &options = {});
+
+/** POM itself (wraps dse::autoDSE) for uniform comparison tables. */
+BaselineResult runPom(dsl::Function &func,
+                      const BaselineOptions &options = {});
+
+} // namespace pom::baselines
+
+#endif // POM_BASELINES_BASELINES_H

@@ -1,0 +1,610 @@
+#include "dse/dse.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "graph/dependence_graph.h"
+#include "hls/count.h"
+#include "support/diagnostics.h"
+
+namespace pom::dse {
+
+using graph::DependenceGraph;
+using graph::Hint;
+using transform::PolyStmt;
+
+double
+DseResult::speedup() const
+{
+    return report.speedupOver(baseline);
+}
+
+namespace {
+
+/** A fused optimization unit: statements sharing a top-level nest. */
+struct Unit
+{
+    std::vector<size_t> members; ///< indices into the statement vector
+    std::int64_t degree = 1;
+    bool open = true;
+};
+
+std::string
+hintKey(const Hint &h)
+{
+    return std::to_string(static_cast<int>(h.kind)) + ":" +
+           std::to_string(h.fromLevel) + ":" + std::to_string(h.toLevel);
+}
+
+/** Number of leading schedule levels all members share. */
+size_t
+sharedDepth(const std::vector<PolyStmt> &stmts,
+            const std::vector<size_t> &members)
+{
+    if (members.size() < 2)
+        return 0;
+    size_t depth = SIZE_MAX;
+    const auto &first = stmts[members[0]].sched.betas;
+    for (size_t m = 1; m < members.size(); ++m) {
+        const auto &other = stmts[members[m]].sched.betas;
+        size_t common = 0;
+        size_t limit = std::min(first.size(), other.size());
+        while (common < limit && first[common] == other[common])
+            ++common;
+        depth = std::min(depth, common);
+    }
+    return depth == SIZE_MAX ? 0 : depth;
+}
+
+/** Group statements by their top-level beta coordinate. */
+std::vector<Unit>
+groupUnits(const std::vector<PolyStmt> &stmts)
+{
+    std::map<std::int64_t, Unit> by_beta;
+    for (size_t i = 0; i < stmts.size(); ++i)
+        by_beta[stmts[i].sched.betas[0]].members.push_back(i);
+    std::vector<Unit> units;
+    for (auto &[beta, unit] : by_beta)
+        units.push_back(std::move(unit));
+    return units;
+}
+
+bool
+anyProducerRelation(const std::vector<PolyStmt> &stmts,
+                    const std::vector<size_t> &members)
+{
+    for (size_t a : members) {
+        for (size_t b : members) {
+            if (a == b)
+                continue;
+            if (poly::producesFor(stmts[a].accesses, stmts[b].accesses))
+                return true;
+        }
+    }
+    return false;
+}
+
+/** Per-level loop-carried flags of a statement. */
+std::vector<bool>
+carriedLevels(const PolyStmt &stmt)
+{
+    std::vector<bool> carried(stmt.numDims(), false);
+    for (const auto &d : transform::selfDependences(stmt))
+        carried[d.level] = true;
+    return carried;
+}
+
+} // namespace
+
+void
+applyParallelSchedule(PolyStmt &stmt, std::int64_t degree,
+                      std::int64_t inner_cap, const dsl::Function &func,
+                      std::map<std::string, std::vector<std::int64_t>>
+                          &partitions, size_t min_level,
+                      bool ignore_carried)
+{
+    size_t n = stmt.numDims();
+    auto carried = carriedLevels(stmt);
+    if (ignore_carried)
+        carried.assign(n, false);
+    auto trips = hls::avgTrips(stmt.sched.domain);
+
+    int inner = -1;
+    for (int l = static_cast<int>(n) - 1;
+         l >= static_cast<int>(min_level); --l) {
+        if (!carried[l]) {
+            inner = l;
+            break;
+        }
+    }
+    if (inner < 0 || degree == 1) {
+        transform::setPipeline(stmt, stmt.sched.domain.dimName(n - 1), 1);
+        return;
+    }
+    int outer = (inner > static_cast<int>(min_level) &&
+                 !carried[inner - 1])
+                    ? inner - 1
+                    : -1;
+
+    std::int64_t f_inner = std::min({degree, inner_cap, trips[inner]});
+    std::int64_t f_outer = 1;
+    if (outer >= 0 && f_inner < degree) {
+        f_outer = std::min(degree / std::max<std::int64_t>(1, f_inner),
+                           trips[outer]);
+    }
+
+    std::string inner_name = stmt.sched.domain.dimName(inner);
+    std::string outer_name =
+        outer >= 0 ? stmt.sched.domain.dimName(outer) : "";
+
+    std::vector<std::string> unrolled;
+    std::string pipeline_at;
+
+    if (f_inner >= trips[inner]) {
+        transform::setUnroll(stmt, inner_name, 0);
+        unrolled.push_back(inner_name);
+    } else {
+        transform::split(stmt, inner_name, f_inner, inner_name + "_o",
+                         inner_name + "_i");
+        transform::setUnroll(stmt, inner_name + "_i", 0);
+        unrolled.push_back(inner_name + "_i");
+        pipeline_at = inner_name + "_o";
+    }
+
+    if (f_outer > 1) {
+        if (f_outer >= trips[outer]) {
+            transform::setUnroll(stmt, outer_name, 0);
+            unrolled.push_back(outer_name);
+        } else {
+            transform::split(stmt, outer_name, f_outer, outer_name + "_o",
+                             outer_name + "_i");
+            transform::setUnroll(stmt, outer_name + "_i", 0);
+            unrolled.push_back(outer_name + "_i");
+            // Point loops innermost (the Fig. 6 tile order).
+            if (!pipeline_at.empty()) {
+                transform::interchange(stmt, outer_name + "_i",
+                                       pipeline_at);
+            }
+        }
+    }
+
+    if (pipeline_at.empty()) {
+        // The free levels were fully unrolled without a split. Pipeline
+        // the loop just below the deepest unrolled level so that any
+        // remaining (reduction) loops flatten into the pipeline; if the
+        // unrolled block reaches the innermost level, fall back to the
+        // innermost non-unrolled loop above it.
+        auto is_unrolled = [&](const std::string &name) {
+            return std::find(unrolled.begin(), unrolled.end(), name) !=
+                   unrolled.end();
+        };
+        int deepest = -1;
+        for (const std::string &u : unrolled) {
+            deepest = std::max(deepest,
+                               static_cast<int>(stmt.dimIndex(u)));
+        }
+        if (deepest >= 0 &&
+            deepest + 1 < static_cast<int>(stmt.numDims())) {
+            pipeline_at = stmt.sched.domain.dimName(deepest + 1);
+        } else {
+            for (int l = static_cast<int>(stmt.numDims()) - 1; l >= 0;
+                 --l) {
+                std::string name = stmt.sched.domain.dimName(l);
+                if (!is_unrolled(name)) {
+                    pipeline_at = name;
+                    break;
+                }
+            }
+        }
+    }
+    if (!pipeline_at.empty())
+        transform::setPipeline(stmt, pipeline_at, 1);
+
+    auto accesses = stmt.transformedAccesses();
+    auto final_trips = hls::avgTrips(stmt.sched.domain);
+    for (const std::string &uname : unrolled) {
+        size_t udim = stmt.dimIndex(uname);
+        std::int64_t copies = final_trips[udim];
+        for (const auto &acc : accesses) {
+            const dsl::Placeholder *p = func.findPlaceholder(acc.array);
+            POM_ASSERT(p != nullptr, "unknown array in DSE");
+            auto &factors = partitions[acc.array];
+            factors.resize(p->shape().size(), 1);
+            for (size_t r = 0; r < acc.map.numResults(); ++r) {
+                if (acc.map.result(r).coeff(udim) == 0)
+                    continue;
+                std::int64_t f =
+                    std::min<std::int64_t>(copies, p->shape()[r]);
+                factors[r] = std::max(factors[r], f);
+            }
+        }
+    }
+}
+
+void
+applyPartitions(dsl::Function &func,
+                const std::map<std::string, std::vector<std::int64_t>>
+                    &partitions)
+{
+    for (const dsl::Placeholder *p : func.placeholders()) {
+        dsl::Placeholder *mp = func.findPlaceholderMut(p->name());
+        auto it = partitions.find(p->name());
+        if (it == partitions.end()) {
+            mp->clearPartition();
+            continue;
+        }
+        bool any = false;
+        for (auto f : it->second)
+            any |= f > 1;
+        if (any)
+            mp->partition(it->second, "cyclic");
+        else
+            mp->clearPartition();
+    }
+}
+
+namespace {
+
+class Engine
+{
+  public:
+    Engine(dsl::Function &func, const DseOptions &options)
+        : func_(func), opt_(options),
+          device_(options.device.scaled(options.resourceFraction))
+    {}
+
+    DseResult
+    run()
+    {
+        auto t0 = std::chrono::steady_clock::now();
+        DseResult result;
+
+        // Baseline: the unscheduled program.
+        {
+            auto base_stmts = lower::extractStmts(func_);
+            lower::applyDirectives(base_stmts, /*ordering_only=*/true);
+            auto plain = lower::lowerStmts(func_, std::move(base_stmts));
+            result.baseline = hls::estimate(func_, plain, estOptions());
+        }
+
+        std::vector<PolyStmt> stmts = lower::extractStmts(func_);
+        if (opt_.applyUserDirectives)
+            lower::applyDirectives(stmts);
+
+        stage1(stmts, result.log);
+        stage2(stmts, result);
+
+        auto t1 = std::chrono::steady_clock::now();
+        result.dseSeconds =
+            std::chrono::duration<double>(t1 - t0).count();
+        result.pointsExplored = points_;
+        return result;
+    }
+
+  private:
+    hls::EstimatorOptions
+    estOptions() const
+    {
+        hls::EstimatorOptions eo;
+        eo.device = device_;
+        eo.sharing = opt_.sharing;
+        return eo;
+    }
+
+    // ----- Stage 1: dependence-aware code transformation ----------------
+
+    void
+    stage1(std::vector<PolyStmt> &stmts, std::vector<std::string> &log)
+    {
+        // Remember the original top-level grouping for re-fusion.
+        std::map<size_t, std::int64_t> orig_group;
+        for (size_t i = 0; i < stmts.size(); ++i)
+            orig_group[i] = stmts[i].sched.betas[0];
+
+        DependenceGraph graph(stmts);
+        int skew_counter = 0;
+        for (int iter = 0; iter < opt_.maxStage1Iterations; ++iter) {
+            graph.refresh(stmts);
+            bool changed = false;
+
+            // Resolve conflicting strategies inside fused nests by
+            // splitting the nest (Fig. 10 step 1).
+            auto units = groupUnits(stmts);
+            for (const auto &unit : units) {
+                if (unit.members.size() < 2)
+                    continue;
+                std::set<std::string> keys;
+                for (size_t m : unit.members)
+                    keys.insert(hintKey(graph.suggest(m)));
+                if (keys.size() < 2)
+                    continue;
+                if (anyProducerRelation(stmts, unit.members)) {
+                    log.push_back("stage1: conflicting hints in fused nest "
+                                  "but distribution is illegal; skipping");
+                    continue;
+                }
+                std::int64_t next_beta = maxBeta(stmts) + 16;
+                for (size_t m = 1; m < unit.members.size(); ++m) {
+                    stmts[unit.members[m]].sched.betas[0] = next_beta;
+                    next_beta += 16;
+                }
+                log.push_back("stage1: split fused nest to resolve "
+                              "conflicting transformation strategies");
+                changed = true;
+            }
+            if (changed) {
+                continue; // re-analyze with the new grouping
+            }
+
+            // Apply per-statement hints. Members of a (still) fused nest
+            // have identical hints here; apply positionally to each.
+            units = groupUnits(stmts);
+            for (const auto &unit : units) {
+                size_t shared = sharedDepth(stmts, unit.members);
+                Hint hint = graph.suggest(unit.members[0]);
+                if (unit.members.size() > 1) {
+                    std::set<std::string> keys;
+                    for (size_t m : unit.members)
+                        keys.insert(hintKey(graph.suggest(m)));
+                    if (keys.size() > 1) {
+                        // Conflicting hints survive only when the nest
+                        // could not be distributed (producer relation).
+                        log.push_back("stage1: conflicting hints in an "
+                                      "undistributable nest; skipping");
+                        continue;
+                    }
+                    // Identical hints: applying the same transform to
+                    // every member keeps bounds equal. Touching shared
+                    // levels is only safe when no data flows between
+                    // the members (a common permutation preserves
+                    // aligned cross dependences).
+                    if (hint.kind != Hint::Kind::None &&
+                        hint.fromLevel < shared &&
+                        anyProducerRelation(stmts, unit.members)) {
+                        log.push_back("stage1: hint touches a shared loop "
+                                      "of a producer/consumer nest; "
+                                      "skipping");
+                        continue;
+                    }
+                }
+                for (size_t m : unit.members) {
+                    PolyStmt &stmt = stmts[m];
+                    Hint h = graph.suggest(m);
+                    if (h.kind == Hint::Kind::Interchange) {
+                        transform::interchange(
+                            stmt, stmt.sched.domain.dimName(h.fromLevel),
+                            stmt.sched.domain.dimName(h.toLevel));
+                        log.push_back("stage1: interchange " +
+                                      stmt.sched.name);
+                        changed = true;
+                    } else if (h.kind == Hint::Kind::Skew) {
+                        size_t n = stmt.numDims();
+                        std::string outer = stmt.sched.domain.dimName(n - 2);
+                        std::string inner = stmt.sched.domain.dimName(n - 1);
+                        std::string fresh =
+                            inner + "_sk" + std::to_string(skew_counter++);
+                        transform::skew(stmt, outer, inner, 1, outer,
+                                        fresh);
+                        log.push_back("stage1: skew " + stmt.sched.name);
+                        changed = true;
+                    }
+                }
+            }
+            if (!changed)
+                break;
+        }
+
+        refuse(stmts, orig_group, log);
+    }
+
+    static std::int64_t
+    maxBeta(const std::vector<PolyStmt> &stmts)
+    {
+        std::int64_t m = 0;
+        for (const auto &s : stmts)
+            m = std::max(m, s.sched.betas[0]);
+        return m;
+    }
+
+    /** Conservative re-fusion of previously split nests (Fig. 10 (3)). */
+    void
+    refuse(std::vector<PolyStmt> &stmts,
+           const std::map<size_t, std::int64_t> &orig_group,
+           std::vector<std::string> &log)
+    {
+        for (size_t a = 0; a < stmts.size(); ++a) {
+            for (size_t b = a + 1; b < stmts.size(); ++b) {
+                if (orig_group.at(a) != orig_group.at(b))
+                    continue; // were never fused
+                if (stmts[a].sched.betas[0] == stmts[b].sched.betas[0])
+                    continue; // still fused
+                if (stmts[a].numDims() != stmts[b].numDims())
+                    continue;
+                if (poly::producesFor(stmts[a].accesses,
+                                      stmts[b].accesses) ||
+                    poly::producesFor(stmts[b].accesses,
+                                      stmts[a].accesses)) {
+                    continue; // data flows between them: stay split
+                }
+                bool bounds_match = true;
+                for (size_t l = 0; l < stmts[a].numDims(); ++l) {
+                    if (!(stmts[a].sched.domain.boundsForCodegen(l) ==
+                          stmts[b].sched.domain.boundsForCodegen(l))) {
+                        bounds_match = false;
+                        break;
+                    }
+                }
+                if (!bounds_match)
+                    continue;
+                transform::fuseInto(stmts[b], stmts[a]);
+                log.push_back("stage1: conservatively re-fused " +
+                              stmts[a].sched.name + " and " +
+                              stmts[b].sched.name);
+            }
+        }
+    }
+
+    // ----- Stage 2: bottleneck-oriented code optimization ---------------
+
+    void
+    stage2(const std::vector<PolyStmt> &base, DseResult &result)
+    {
+        auto units = groupUnits(base);
+        for (auto &u : units)
+            u.degree = 1;
+
+        // Evaluate the initial (pipeline-only) design.
+        Candidate best = makeCandidate(base, units);
+        result.log.push_back("stage2: initial design " +
+                             best.report.str(device_));
+
+        while (true) {
+            // Bottleneck: the open unit whose nest dominates latency.
+            int bottleneck = -1;
+            std::uint64_t worst = 0;
+            for (size_t ui = 0; ui < units.size(); ++ui) {
+                if (!units[ui].open)
+                    continue;
+                std::uint64_t lat =
+                    unitLatency(best.report, base, units[ui]);
+                if (bottleneck < 0 || lat > worst) {
+                    bottleneck = static_cast<int>(ui);
+                    worst = lat;
+                }
+            }
+            if (bottleneck < 0)
+                break; // optimization list is empty
+
+            Unit &unit = units[bottleneck];
+            std::int64_t next = unit.degree * 2;
+            if (next > opt_.maxParallelism ||
+                next > maxDegreeOf(base, unit)) {
+                unit.open = false; // exit mechanism: max parallelism
+                result.log.push_back(
+                    "stage2: unit reached max parallelism, removed");
+                continue;
+            }
+
+            std::int64_t saved = unit.degree;
+            unit.degree = next;
+            Candidate trial = makeCandidate(base, units);
+            if (!trial.report.resources.fitsIn(device_)) {
+                unit.degree = saved;
+                unit.open = false; // exit mechanism: resource bound
+                result.log.push_back(
+                    "stage2: unit exceeds resource budget, removed");
+                continue;
+            }
+            if (trial.report.latencyCycles >= best.report.latencyCycles) {
+                unit.degree = saved;
+                unit.open = false;
+                result.log.push_back(
+                    "stage2: no latency improvement, removed");
+                continue;
+            }
+            best = std::move(trial);
+            result.log.push_back(
+                "stage2: parallelism " + std::to_string(next) + " -> " +
+                best.report.str(device_));
+        }
+
+        // Materialize the winning design (also rewrites partitions).
+        best = makeCandidate(base, units);
+        result.design = std::move(best.design);
+        result.report = std::move(best.report);
+        for (const auto &u : units) {
+            for (size_t m : u.members) {
+                result.parallelism.emplace_back(base[m].sched.name,
+                                                u.degree);
+            }
+        }
+    }
+
+    struct Candidate
+    {
+        lower::LoweredFunction design;
+        hls::SynthesisReport report;
+    };
+
+    /** Latency attributed to a unit in the last report. */
+    static std::uint64_t
+    unitLatency(const hls::SynthesisReport &report,
+                const std::vector<PolyStmt> &base, const Unit &unit)
+    {
+        std::uint64_t lat = 0;
+        for (size_t m : unit.members) {
+            const std::string &name = base[m].sched.name;
+            for (const auto &[nest, cycles] : report.nestLatencies) {
+                if (nest == name)
+                    lat = std::max(lat, cycles);
+            }
+        }
+        return lat;
+    }
+
+    /** Product of free-level trip counts bounds the parallelism. */
+    std::int64_t
+    maxDegreeOf(const std::vector<PolyStmt> &base, const Unit &unit) const
+    {
+        std::int64_t cap = INT64_MAX;
+        for (size_t m : unit.members) {
+            const PolyStmt &stmt = base[m];
+            auto carried = carriedLevels(stmt);
+            auto trips = hls::avgTrips(stmt.sched.domain);
+            std::int64_t product = 1;
+            for (size_t l = 0; l < stmt.numDims(); ++l) {
+                if (!carried[l])
+                    product *= trips[l];
+            }
+            cap = std::min(cap, product);
+        }
+        return std::max<std::int64_t>(1, cap);
+    }
+
+    /** Apply unit degrees to fresh statements, lower and estimate. */
+    Candidate
+    makeCandidate(const std::vector<PolyStmt> &base,
+                  const std::vector<Unit> &units)
+    {
+        std::vector<PolyStmt> stmts = base;
+        std::map<std::string, std::vector<std::int64_t>> partitions;
+        for (const auto &unit : units) {
+            size_t min_level = 0;
+            if (unit.members.size() > 1 &&
+                anyProducerRelation(stmts, unit.members)) {
+                min_level = sharedDepth(stmts, unit.members);
+            }
+            for (size_t m : unit.members) {
+                applyParallelSchedule(stmts[m], unit.degree,
+                                      opt_.innerUnrollCap, func_,
+                                      partitions, min_level);
+            }
+        }
+        applyPartitions(func_, partitions);
+
+        Candidate c;
+        c.design = lower::lowerStmts(func_, std::move(stmts));
+        c.report = hls::estimate(func_, c.design, estOptions());
+        ++points_;
+        return c;
+    }
+
+    dsl::Function &func_;
+    DseOptions opt_;
+    hls::Device device_;
+    int points_ = 0;
+};
+
+} // namespace
+
+DseResult
+autoDSE(dsl::Function &func, const DseOptions &options)
+{
+    Engine engine(func, options);
+    return engine.run();
+}
+
+} // namespace pom::dse

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * POM's two-stage design space exploration engine (paper §VI).
+ *
+ * Stage 1 -- dependence-aware code transformation: iterate over the
+ * dependence graph, relieving tight loop-carried dependences with
+ * interchange and skewing; conflicting strategies inside a fused loop
+ * nest are resolved by splitting the nest, transforming each statement,
+ * and conservatively re-fusing (the Fig. 10 split-interchange-merge).
+ *
+ * Stage 2 -- bottleneck-oriented code optimization: estimate the latency
+ * of every node, order data paths by latency, and repeatedly double the
+ * parallelism (tiling + unrolling + array partitioning + pipelining) of
+ * the bottleneck node until it hits maximum parallelism or the resource
+ * budget; nodes leave the optimization list through the exit mechanism
+ * and the search ends when the list is empty.
+ */
+
+#ifndef POM_DSE_DSE_H
+#define POM_DSE_DSE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dsl/dsl.h"
+#include "hls/estimator.h"
+#include "lower/lower.h"
+
+namespace pom::dse {
+
+/** DSE configuration. */
+struct DseOptions
+{
+    hls::Device device = hls::Device::xc7z020();
+
+    /** Fraction of the device budget available (Fig. 11 sweeps this). */
+    double resourceFraction = 1.0;
+
+    /** Stage-1 iteration bound (paper: "pre-defined bounds"). */
+    int maxStage1Iterations = 6;
+
+    /** Upper bound on a single node's parallelism degree. */
+    std::int64_t maxParallelism = 64;
+
+    /** Cap on the unroll factor of the innermost parallel loop. */
+    std::int64_t innerUnrollCap = 16;
+
+    /** Hardware sharing model passed to the estimator. */
+    hls::SharingMode sharing = hls::SharingMode::Reuse;
+
+    /** Apply user-specified primitives before exploring. */
+    bool applyUserDirectives = true;
+};
+
+/** Outcome of a DSE run. */
+struct DseResult
+{
+    /** The selected design, fully lowered and annotated. */
+    lower::LoweredFunction design;
+
+    /** Synthesis report of the selected design. */
+    hls::SynthesisReport report;
+
+    /** Report of the unoptimized input (speedup baseline). */
+    hls::SynthesisReport baseline;
+
+    /** Parallelism degree chosen per statement. */
+    std::vector<std::pair<std::string, std::int64_t>> parallelism;
+
+    /** Wall-clock seconds spent searching (the paper's "DSE time"). */
+    double dseSeconds = 0.0;
+
+    /** Number of design points evaluated. */
+    int pointsExplored = 0;
+
+    /** Human-readable search log. */
+    std::vector<std::string> log;
+
+    /** latency(baseline) / latency(best). */
+    double speedup() const;
+};
+
+/**
+ * Run the two-stage DSE on a DSL function (the f.auto_DSE() primitive).
+ * Array partition directives on the function's placeholders are
+ * rewritten to match the selected design.
+ */
+DseResult autoDSE(dsl::Function &func, const DseOptions &options = {});
+
+/**
+ * Apply the standard parallelism pattern to one statement (Fig. 6):
+ * split the free innermost level(s) for @p degree total copies (inner
+ * factor capped at @p inner_cap), fully unroll the point loops,
+ * pipeline the loop above them, and accumulate cyclic partition factors
+ * for the arrays indexed by unrolled iterators into @p partitions.
+ * Shared by the POM DSE and the ScaleHLS-like baseline.
+ *
+ * @param ignore_carried Tile/unroll the innermost levels positionally
+ *        without consulting dependence analysis (the ScaleHLS-like
+ *        strategy: it unrolls anyway and pays for it in achieved II).
+ * @param min_level Levels below this index are left untouched; used for
+ *        shared loops of partially fused nests whose statements exchange
+ *        data (e.g. the time loop of Jacobi), where restructuring would
+ *        violate cross-statement dependences.
+ */
+void applyParallelSchedule(
+    transform::PolyStmt &stmt, std::int64_t degree, std::int64_t inner_cap,
+    const dsl::Function &func,
+    std::map<std::string, std::vector<std::int64_t>> &partitions,
+    size_t min_level = 0, bool ignore_carried = false);
+
+/** Set the accumulated partition plan on the function's placeholders. */
+void applyPartitions(
+    dsl::Function &func,
+    const std::map<std::string, std::vector<std::int64_t>> &partitions);
+
+} // namespace pom::dse
+
+#endif // POM_DSE_DSE_H

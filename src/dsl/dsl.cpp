@@ -1,0 +1,216 @@
+#include "dsl/dsl.h"
+
+#include "support/diagnostics.h"
+
+namespace pom::dsl {
+
+Var::Var(std::string name, std::int64_t lo, std::int64_t hi)
+    : name_(std::move(name)), lo_(lo), hi_(hi), has_range_(true)
+{
+    if (hi <= lo) {
+        support::fatal("iterator '" + name_ + "' has empty range [" +
+                       std::to_string(lo) + ", " + std::to_string(hi) + ")");
+    }
+}
+
+Var::Var(std::string name) : name_(std::move(name)) {}
+
+Placeholder::Placeholder(Function &func, std::string name,
+                         std::vector<std::int64_t> shape, ScalarKind type)
+    : func_(&func), name_(std::move(name)), shape_(std::move(shape)),
+      type_(type)
+{
+    for (auto d : shape_) {
+        if (d <= 0) {
+            support::fatal("placeholder '" + name_ +
+                           "' has non-positive extent");
+        }
+    }
+    if (func.findPlaceholder(name_)) {
+        support::fatal("duplicate placeholder name '" + name_ + "'");
+    }
+    func_->placeholders_.push_back(this);
+}
+
+void
+Placeholder::partition(std::vector<std::int64_t> factors, std::string kind)
+{
+    if (factors.size() != shape_.size()) {
+        support::fatal("partition of '" + name_ + "': " +
+                       std::to_string(factors.size()) + " factors for a " +
+                       std::to_string(shape_.size()) + "-d array");
+    }
+    if (kind != "cyclic" && kind != "block" && kind != "complete") {
+        support::fatal("partition kind must be cyclic, block or complete");
+    }
+    for (size_t i = 0; i < factors.size(); ++i) {
+        if (factors[i] < 1 || factors[i] > shape_[i]) {
+            support::fatal("partition factor out of range for '" + name_ +
+                           "' dim " + std::to_string(i));
+        }
+    }
+    partition_factors_ = std::move(factors);
+    partition_kind_ = std::move(kind);
+}
+
+void
+Placeholder::clearPartition()
+{
+    partition_factors_.clear();
+    partition_kind_.clear();
+}
+
+Compute::Compute(Function &func, std::string name, std::vector<Var> iters,
+                 Expr rhs, Expr dest)
+    : func_(&func), name_(std::move(name)), iters_(std::move(iters)),
+      rhs_(std::move(rhs)), dest_(std::move(dest))
+{
+    if (iters_.empty())
+        support::fatal("compute '" + name_ + "' has no iterators");
+    for (const auto &it : iters_) {
+        if (!it.hasRange()) {
+            support::fatal("iterator '" + it.name() + "' of compute '" +
+                           name_ + "' has no range");
+        }
+    }
+    for (size_t a = 0; a < iters_.size(); ++a) {
+        for (size_t b = a + 1; b < iters_.size(); ++b) {
+            if (iters_[a].name() == iters_[b].name()) {
+                support::fatal("duplicate iterator '" + iters_[a].name() +
+                               "' in compute '" + name_ + "'");
+            }
+        }
+    }
+    if (!rhs_.valid() || !dest_.valid())
+        support::fatal("compute '" + name_ + "' has an invalid expression");
+    if (dest_.node()->kind != ExprNode::Kind::Load) {
+        support::fatal("destination of compute '" + name_ +
+                       "' must be a placeholder access");
+    }
+    if (func.findCompute(name_))
+        support::fatal("duplicate compute name '" + name_ + "'");
+    func_->computes_.push_back(this);
+}
+
+Compute &
+Compute::interchange(const Var &i, const Var &j)
+{
+    directives_.push_back(
+        Directive{Directive::Kind::Interchange, {i.name(), j.name()},
+                  {}, {}, nullptr});
+    return *this;
+}
+
+Compute &
+Compute::split(const Var &i, std::int64_t factor, const Var &i0,
+               const Var &i1)
+{
+    if (factor < 2)
+        support::fatal("split factor must be >= 2");
+    directives_.push_back(
+        Directive{Directive::Kind::Split, {i.name()}, {factor},
+                  {i0.name(), i1.name()}, nullptr});
+    return *this;
+}
+
+Compute &
+Compute::tile(const Var &i, const Var &j, std::int64_t t1, std::int64_t t2,
+              const Var &i0, const Var &j0, const Var &i1, const Var &j1)
+{
+    if (t1 < 2 || t2 < 2)
+        support::fatal("tile factors must be >= 2");
+    directives_.push_back(
+        Directive{Directive::Kind::Tile, {i.name(), j.name()}, {t1, t2},
+                  {i0.name(), j0.name(), i1.name(), j1.name()}, nullptr});
+    return *this;
+}
+
+Compute &
+Compute::skew(const Var &i, const Var &j, std::int64_t f, const Var &ip,
+              const Var &jp)
+{
+    if (f == 0)
+        support::fatal("skew factor must be non-zero");
+    directives_.push_back(
+        Directive{Directive::Kind::Skew, {i.name(), j.name()}, {f},
+                  {ip.name(), jp.name()}, nullptr});
+    return *this;
+}
+
+Compute &
+Compute::after(const Compute &other, const Var &level)
+{
+    directives_.push_back(
+        Directive{Directive::Kind::After, {level.name()}, {}, {}, &other});
+    return *this;
+}
+
+Compute &
+Compute::after(const Compute &other)
+{
+    directives_.push_back(
+        Directive{Directive::Kind::After, {}, {}, {}, &other});
+    return *this;
+}
+
+Compute &
+Compute::fuse(const Compute &other)
+{
+    directives_.push_back(
+        Directive{Directive::Kind::Fuse, {}, {}, {}, &other});
+    return *this;
+}
+
+Compute &
+Compute::pipeline(const Var &i, int ii)
+{
+    if (ii < 1)
+        support::fatal("pipeline II must be >= 1");
+    directives_.push_back(
+        Directive{Directive::Kind::Pipeline, {i.name()}, {ii}, {},
+                  nullptr});
+    return *this;
+}
+
+Compute &
+Compute::unroll(const Var &i, std::int64_t factor)
+{
+    if (factor < 0)
+        support::fatal("unroll factor must be >= 0 (0 = full)");
+    directives_.push_back(
+        Directive{Directive::Kind::Unroll, {i.name()}, {factor}, {},
+                  nullptr});
+    return *this;
+}
+
+const Placeholder *
+Function::findPlaceholder(const std::string &name) const
+{
+    for (const auto *p : placeholders_) {
+        if (p->name() == name)
+            return p;
+    }
+    return nullptr;
+}
+
+Placeholder *
+Function::findPlaceholderMut(const std::string &name)
+{
+    for (auto *p : placeholders_) {
+        if (p->name() == name)
+            return p;
+    }
+    return nullptr;
+}
+
+Compute *
+Function::findCompute(const std::string &name) const
+{
+    for (auto *c : computes_) {
+        if (c->name() == name)
+            return c;
+    }
+    return nullptr;
+}
+
+} // namespace pom::dsl

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * The POM DSL (paper §IV): a declarative, Halide-style programming model
+ * embedded in C++ that decouples the algorithm specification from the
+ * schedule. Users declare iterators (var), arrays (placeholder) and
+ * computations (compute), then optionally attach scheduling primitives
+ * (Table II) -- loop transformations, HLS hardware optimizations, or
+ * auto_DSE -- without restructuring the algorithm.
+ *
+ * Example (Fig. 4 / Fig. 5 / Fig. 6 of the paper):
+ * @code
+ *   pom::dsl::Function f("gemm");
+ *   Var i("i", 0, 32), j("j", 0, 32), k("k", 0, 32);
+ *   Placeholder A(f, "A", {32, 32}, ScalarKind::F32);
+ *   Placeholder B(f, "B", {32, 32}, ScalarKind::F32);
+ *   Placeholder C(f, "C", {32, 32}, ScalarKind::F32);
+ *   Compute s(f, "s", {k, i, j}, A(i, j) + B(i, k) * C(k, j), A(i, j));
+ *   Var i0("i0"), j0("j0"), i1("i1"), j1("j1");
+ *   s.tile(i, j, 4, 4, i0, j0, i1, j1);
+ *   s.pipeline(j0, 1);
+ *   s.unroll(i1, 4);
+ *   s.unroll(j1, 4);
+ *   A.partition({4, 4}, "cyclic");
+ * @endcode
+ */
+
+#ifndef POM_DSL_DSL_H
+#define POM_DSL_DSL_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsl/expr.h"
+#include "ir/type.h"
+
+namespace pom::dsl {
+
+class Function;
+class Compute;
+
+using ir::ScalarKind;
+
+/** A loop iterator with an optional half-open range [lo, hi). */
+class Var
+{
+  public:
+    /** Iterator with a range, e.g. var i("i", 0, 32). */
+    Var(std::string name, std::int64_t lo, std::int64_t hi);
+
+    /** Name-only iterator, used to name loops created by transforms. */
+    explicit Var(std::string name);
+
+    const std::string &name() const { return name_; }
+    std::int64_t lo() const { return lo_; }
+    std::int64_t hi() const { return hi_; }
+    bool hasRange() const { return has_range_; }
+
+    /** Use the iterator in an expression. */
+    operator Expr() const { return Expr::iter(name_); }
+
+  private:
+    std::string name_;
+    std::int64_t lo_ = 0;
+    std::int64_t hi_ = 0;
+    bool has_range_ = false;
+};
+
+/** A typed multi-dimensional array (paper §IV.A placeholders). */
+class Placeholder
+{
+  public:
+    Placeholder(Function &func, std::string name,
+                std::vector<std::int64_t> shape,
+                ScalarKind type = ScalarKind::F32);
+
+    const std::string &name() const { return name_; }
+    const std::vector<std::int64_t> &shape() const { return shape_; }
+    ScalarKind elementType() const { return type_; }
+
+    /** Array access for use inside compute expressions. */
+    template <typename... Idx> Expr
+    operator()(const Idx &...idx) const
+    {
+        return Expr::load(this, {Expr(idx)...});
+    }
+
+    /**
+     * Array-partitioning primitive (Table II):
+     * A.partition({t1, t2}, "cyclic") partitions dim 0 by t1 and dim 1 by
+     * t2. Kind is "cyclic", "block" or "complete".
+     */
+    void partition(std::vector<std::int64_t> factors, std::string kind);
+
+    /** Remove any partition directive (used between DSE candidates). */
+    void clearPartition();
+
+    const std::vector<std::int64_t> &partitionFactors() const
+    {
+        return partition_factors_;
+    }
+    const std::string &partitionKind() const { return partition_kind_; }
+
+  private:
+    Function *func_;
+    std::string name_;
+    std::vector<std::int64_t> shape_;
+    ScalarKind type_;
+    std::vector<std::int64_t> partition_factors_;
+    std::string partition_kind_;
+};
+
+/** One recorded scheduling primitive (applied during lowering). */
+struct Directive
+{
+    enum class Kind
+    {
+        Interchange, Split, Tile, Skew, After, Fuse,
+        Pipeline, Unroll,
+    };
+
+    Kind kind;
+    std::vector<std::string> vars;    ///< iterator names involved
+    std::vector<std::int64_t> factors;
+    std::vector<std::string> newVars; ///< names of created iterators
+    const Compute *other = nullptr;   ///< for After/Fuse
+};
+
+/**
+ * A computation over an iteration domain (paper Fig. 4): destination
+ * placeholder access, iterator list, and right-hand-side expression.
+ * Scheduling primitives recorded here drive the polyhedral layer.
+ */
+class Compute
+{
+  public:
+    /**
+     * Define a computation.
+     * @param func Enclosing function; the compute registers itself.
+     * @param name Statement name.
+     * @param iters Loop iterators, outermost first. Each must have a
+     *        range.
+     * @param rhs Right-hand-side expression.
+     * @param dest Destination access (a Placeholder load expression).
+     */
+    Compute(Function &func, std::string name, std::vector<Var> iters,
+            Expr rhs, Expr dest);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Var> &iters() const { return iters_; }
+    const Expr &rhs() const { return rhs_; }
+    const Expr &dest() const { return dest_; }
+    const std::vector<Directive> &directives() const { return directives_; }
+    Function &function() const { return *func_; }
+
+    // ----- Loop transformation primitives (Table II) --------------------
+
+    /** Interchange loop levels i and j. */
+    Compute &interchange(const Var &i, const Var &j);
+
+    /** Split loop i by @p factor into (i0, i1), i1 innermost. */
+    Compute &split(const Var &i, std::int64_t factor, const Var &i0,
+                   const Var &i1);
+
+    /** Tile loops (i, j) by (t1, t2) into (i0, j0, i1, j1). */
+    Compute &tile(const Var &i, const Var &j, std::int64_t t1,
+                  std::int64_t t2, const Var &i0, const Var &j0,
+                  const Var &i1, const Var &j1);
+
+    /**
+     * Skew loop j by f*i: new iterators (ip, jp) with jp = j + f*i.
+     * Changes the dependence direction (paper Table II).
+     */
+    Compute &skew(const Var &i, const Var &j, std::int64_t f,
+                  const Var &ip, const Var &jp);
+
+    /**
+     * Execute this compute after @p other at loop level @p level (they
+     * share loops above that level; bounds must match).
+     */
+    Compute &after(const Compute &other, const Var &level);
+
+    /** Execute after @p other with no shared loops. */
+    Compute &after(const Compute &other);
+
+    /** Fuse this compute into the same loop nest as @p other. */
+    Compute &fuse(const Compute &other);
+
+    // ----- Hardware optimization primitives (Table II) ------------------
+
+    /** Pipeline loop level i with the given initiation interval. */
+    Compute &pipeline(const Var &i, int ii = 1);
+
+    /** Unroll loop level i by @p factor (0 = fully). */
+    Compute &unroll(const Var &i, std::int64_t factor);
+
+  private:
+    Function *func_;
+    std::string name_;
+    std::vector<Var> iters_;
+    Expr rhs_;
+    Expr dest_;
+    std::vector<Directive> directives_;
+};
+
+/** A function: a set of computes plus module-level scheduling state. */
+class Function
+{
+  public:
+    explicit Function(std::string name) : name_(std::move(name)) {}
+
+    Function(const Function &) = delete;
+    Function &operator=(const Function &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    const std::vector<Compute *> &computes() const { return computes_; }
+    const std::vector<Placeholder *> &placeholders() const
+    {
+        return placeholders_;
+    }
+
+    /**
+     * Request automatic design space exploration (paper §VI). The actual
+     * search runs when the function is compiled through the DSE engine;
+     * this flag mirrors the f.auto_DSE() primitive.
+     */
+    void autoDSE() { auto_dse_ = true; }
+    bool autoDSERequested() const { return auto_dse_; }
+
+    /** Find a placeholder by name (nullptr if absent). */
+    const Placeholder *findPlaceholder(const std::string &name) const;
+
+    /**
+     * Mutable lookup, used by the DSE engine to set array-partitioning
+     * directives while exploring design points.
+     */
+    Placeholder *findPlaceholderMut(const std::string &name);
+
+    /** Find a compute by name (nullptr if absent). */
+    Compute *findCompute(const std::string &name) const;
+
+  private:
+    friend class Compute;
+    friend class Placeholder;
+
+    std::string name_;
+    std::vector<Compute *> computes_;
+    std::vector<Placeholder *> placeholders_;
+    bool auto_dse_ = false;
+};
+
+} // namespace pom::dsl
+
+#endif // POM_DSL_DSL_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Expression trees for the POM DSL (paper §IV.A). An Expr describes the
+ * right-hand side of a compute: constants, iterator references, affine
+ * array accesses, and arithmetic. Array subscripts must be affine in the
+ * compute's iterators; extraction to poly::LinearExpr happens during
+ * lowering and rejects non-affine forms with a user-level error.
+ */
+
+#ifndef POM_DSL_EXPR_H
+#define POM_DSL_EXPR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pom::dsl {
+
+class Placeholder;
+
+/** Binary operator kinds available in the DSL. */
+enum class BinOp { Add, Sub, Mul, Div, Max, Min };
+
+/** Unary operator kinds. */
+enum class UnOp { Neg, Sqrt, Exp };
+
+/** Internal expression node. Use the Expr value wrapper in user code. */
+struct ExprNode
+{
+    enum class Kind { Const, Iter, Load, Binary, Unary };
+
+    Kind kind;
+
+    // Const
+    double value = 0.0;
+
+    // Iter
+    std::string iterName;
+
+    // Load
+    const Placeholder *array = nullptr;
+    std::vector<std::shared_ptr<ExprNode>> indices;
+
+    // Binary / Unary
+    BinOp binOp = BinOp::Add;
+    UnOp unOp = UnOp::Neg;
+    std::shared_ptr<ExprNode> lhs;
+    std::shared_ptr<ExprNode> rhs;
+};
+
+/** A value-semantic handle to an expression tree. */
+class Expr
+{
+  public:
+    Expr() = default;
+
+    /* implicit */ Expr(double constant);
+    /* implicit */ Expr(int constant);
+
+    explicit Expr(std::shared_ptr<ExprNode> node) : node_(std::move(node))
+    {}
+
+    /** Iterator reference by name (normally created via Var). */
+    static Expr iter(const std::string &name);
+
+    /** Array load (normally created via Placeholder::operator()). */
+    static Expr load(const Placeholder *array, std::vector<Expr> indices);
+
+    const std::shared_ptr<ExprNode> &node() const { return node_; }
+    bool valid() const { return node_ != nullptr; }
+
+    /** Render for diagnostics, e.g. "A(i, j) + B(i, k)*C(k, j)". */
+    std::string str() const;
+
+  private:
+    std::shared_ptr<ExprNode> node_;
+};
+
+Expr operator+(const Expr &a, const Expr &b);
+Expr operator-(const Expr &a, const Expr &b);
+Expr operator*(const Expr &a, const Expr &b);
+Expr operator/(const Expr &a, const Expr &b);
+Expr operator-(const Expr &a);
+
+/** Elementwise maximum (used for ReLU in DNN workloads). */
+Expr max(const Expr &a, const Expr &b);
+
+/** Elementwise minimum. */
+Expr min(const Expr &a, const Expr &b);
+
+} // namespace pom::dsl
+
+#endif // POM_DSL_EXPR_H

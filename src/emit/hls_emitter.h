@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Synthesizable HLS C emission from the annotated affine dialect (paper
+ * §V.C back-end): loops become C for-loops, HLS attributes become
+ * #pragma HLS directives (pipeline, unroll, array_partition), and
+ * affine access maps become array subscripts.
+ */
+
+#ifndef POM_EMIT_HLS_EMITTER_H
+#define POM_EMIT_HLS_EMITTER_H
+
+#include <string>
+
+#include "ir/operation.h"
+
+namespace pom::emit {
+
+/** Emit HLS C for a func.func of the annotated affine dialect. */
+std::string emitHlsC(const ir::Operation &func);
+
+} // namespace pom::emit
+
+#endif // POM_EMIT_HLS_EMITTER_H

@@ -1,0 +1,115 @@
+#include "hls/count.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+#include "support/math_util.h"
+
+namespace pom::hls {
+
+using poly::DimBounds;
+using poly::IntegerSet;
+
+namespace {
+
+/**
+ * Recursive counting over dims [level, n). @p prefix holds values for
+ * dims [0, level). Bounds that only involve constants (relative to the
+ * fixed prefix) and are not referenced by deeper constraints multiply.
+ */
+std::int64_t
+countFrom(const IntegerSet &set, const std::vector<DimBounds> &bounds,
+          std::vector<std::int64_t> &prefix, size_t level)
+{
+    size_t n = set.numDims();
+    if (level == n)
+        return 1;
+
+    const DimBounds &b = bounds[level];
+    POM_ASSERT(!b.lower.empty() && !b.upper.empty(),
+               "countPoints on unbounded set");
+    std::vector<std::int64_t> pt(prefix.begin(), prefix.begin() + level);
+    pt.push_back(0);
+    std::int64_t lo = 0, hi = -1;
+    bool first = true;
+    for (const auto &bd : b.lower) {
+        std::int64_t v = support::ceilDiv(bd.expr.evaluate(pt), bd.divisor);
+        lo = first ? v : std::max(lo, v);
+        first = false;
+    }
+    first = true;
+    for (const auto &bd : b.upper) {
+        std::int64_t v = support::floorDiv(bd.expr.evaluate(pt),
+                                           bd.divisor);
+        hi = first ? v : std::min(hi, v);
+        first = false;
+    }
+    if (hi < lo)
+        return 0;
+    std::int64_t width = hi - lo + 1;
+
+    // If no deeper bound references this dim, the count below is the
+    // same for every value -> multiply.
+    bool referenced = false;
+    for (size_t d = level + 1; d < n && !referenced; ++d) {
+        for (const auto &bd : bounds[d].lower) {
+            if (bd.expr.coeff(level) != 0) {
+                referenced = true;
+                break;
+            }
+        }
+        for (const auto &bd : bounds[d].upper) {
+            if (bd.expr.coeff(level) != 0) {
+                referenced = true;
+                break;
+            }
+        }
+    }
+
+    if (!referenced) {
+        prefix[level] = lo;
+        std::int64_t below = countFrom(set, bounds, prefix, level + 1);
+        return width * below;
+    }
+
+    std::int64_t total = 0;
+    for (std::int64_t v = lo; v <= hi; ++v) {
+        prefix[level] = v;
+        total += countFrom(set, bounds, prefix, level + 1);
+    }
+    return total;
+}
+
+} // namespace
+
+std::int64_t
+countPoints(const IntegerSet &set)
+{
+    if (set.numDims() == 0)
+        return set.isEmpty() ? 0 : 1;
+    if (set.isEmpty())
+        return 0;
+    std::vector<DimBounds> bounds;
+    bounds.reserve(set.numDims());
+    for (size_t i = 0; i < set.numDims(); ++i)
+        bounds.push_back(set.boundsForCodegen(i));
+    std::vector<std::int64_t> prefix(set.numDims(), 0);
+    return countFrom(set, bounds, prefix, 0);
+}
+
+std::vector<std::int64_t>
+avgTrips(const poly::IntegerSet &set)
+{
+    size_t n = set.numDims();
+    std::vector<std::int64_t> trips(n, 1);
+    std::int64_t prev = 1;
+    for (size_t l = 0; l < n; ++l) {
+        std::int64_t count = countPoints(set.projectOntoPrefix(l + 1));
+        std::int64_t trip = prev > 0 ? (count + prev / 2) / prev : 1;
+        trips[l] = std::max<std::int64_t>(1, trip);
+        prev = count;
+    }
+    return trips;
+}
+
+} // namespace pom::hls

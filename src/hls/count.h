@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Symbolic point counting for large iteration domains. Enumeration is
+ * infeasible at the paper's problem sizes (4096^3 GEMM), so counting
+ * exploits structure: levels whose bounds are constant and that no
+ * deeper constraint references contribute multiplicatively in O(1);
+ * only levels that other constraints reference (e.g. skewed wavefronts)
+ * are iterated numerically.
+ */
+
+#ifndef POM_HLS_COUNT_H
+#define POM_HLS_COUNT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "poly/integer_set.h"
+
+namespace pom::hls {
+
+/** Exact number of integer points of @p set (0 if empty). */
+std::int64_t countPoints(const poly::IntegerSet &set);
+
+/**
+ * Average trip count of each loop level:
+ *   trips[l] = |proj_{0..l}(D)| / |proj_{0..l-1}(D)|
+ * rounded to the nearest integer and at least 1. For rectangular levels
+ * this is the exact trip count; for skewed levels it is the mean width.
+ */
+std::vector<std::int64_t> avgTrips(const poly::IntegerSet &set);
+
+} // namespace pom::hls
+
+#endif // POM_HLS_COUNT_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The HLS synthesis estimator: POM's substitute for Vitis HLS synthesis
+ * reports. Implements the classic analytical model the paper's DSE
+ * relies on (§VI.B, "the in-house model from [35][38]" = ScaleHLS /
+ * COMBA):
+ *
+ *  - Pipelined loops: II = max(target, recurrence-MII, resource-MII).
+ *    recMII = ceil(dependence latency / dependence distance) over the
+ *    loop-carried dependences inside the pipeline; resMII from memory
+ *    ports after array partitioning (dual-port banks).
+ *  - Unrolled loops replicate operator instances (spatial copies);
+ *    fully-unrolled reduction loops become operator chains that extend
+ *    the recurrence latency.
+ *  - Sequential loop nests either share operator hardware (resource
+ *    reuse, POM's strategy for DNNs, Fig. 13) or instantiate distinct
+ *    stages (dataflow, ScaleHLS's strategy).
+ *
+ * Latency is reported in cycles at the device's target clock; power is
+ * a linear proxy over the used resources.
+ */
+
+#ifndef POM_HLS_ESTIMATOR_H
+#define POM_HLS_ESTIMATOR_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsl/dsl.h"
+#include "hls/device.h"
+#include "lower/lower.h"
+
+namespace pom::hls {
+
+/** Per-pipelined-loop synthesis details. */
+struct LoopReport
+{
+    std::string iterName;
+    std::int64_t trip = 1;          ///< sequential iterations (flattened)
+    std::optional<int> targetII;
+    int achievedII = 1;
+    std::uint64_t latency = 0;
+    int recMII = 1;
+    int resMII = 1;
+};
+
+/** The synthesis report for one design point. */
+struct SynthesisReport
+{
+    std::uint64_t latencyCycles = 0;
+    Resources resources;
+    double powerW = 0.0;
+    std::vector<LoopReport> loops; ///< pipelined loops, program order
+
+    /**
+     * Latency of each top-level loop nest (leader statement name ->
+     * cycles), used by the DSE's bottleneck selection (§VI.B).
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> nestLatencies;
+
+    /** Worst achieved II across pipelined loops (1 if none). */
+    int worstII() const;
+
+    /** latency(base) / latency(this). */
+    double speedupOver(const SynthesisReport &base) const;
+
+    /** One-line summary with utilization percentages. */
+    std::string str(const Device &device) const;
+};
+
+/** How sequential loop nests map onto hardware. */
+enum class SharingMode
+{
+    Reuse,    ///< nests time-share operator hardware (POM)
+    Dataflow, ///< each nest is a distinct pipeline stage (ScaleHLS DNN)
+};
+
+/** Estimator configuration. */
+struct EstimatorOptions
+{
+    Device device = Device::xc7z020();
+    OpCosts costs;
+    SharingMode sharing = SharingMode::Reuse;
+};
+
+/**
+ * Produce a synthesis report for a lowered function.
+ *
+ * @param func The DSL function (array shapes / partition directives).
+ * @param lowered Its lowered form (AST with HLS annotations + final
+ *        polyhedral statements for dependence distances).
+ */
+SynthesisReport estimate(const dsl::Function &func,
+                         const lower::LoweredFunction &lowered,
+                         const EstimatorOptions &options = {});
+
+} // namespace pom::hls
+
+#endif // POM_HLS_ESTIMATOR_H

@@ -1,0 +1,138 @@
+#include "ir/builder.h"
+
+#include "support/diagnostics.h"
+
+namespace pom::ir {
+
+Operation *
+OpBuilder::insert(std::unique_ptr<Operation> op)
+{
+    POM_ASSERT(block_ != nullptr, "OpBuilder has no insertion block");
+    return block_->push(std::move(op));
+}
+
+std::unique_ptr<Operation>
+OpBuilder::makeFunc(const std::string &name)
+{
+    AttrMap attrs;
+    attrs[kAttrSymName] = Attribute(name);
+    return Operation::create("func.func", {}, {}, std::move(attrs), 1);
+}
+
+Value *
+OpBuilder::addFuncArg(Operation &func, Type type, const std::string &name)
+{
+    POM_ASSERT(func.opName() == "func.func", "addFuncArg on non-func");
+    return func.region(0).addArgument(type, name);
+}
+
+Operation *
+OpBuilder::createFor(poly::DimBounds bounds, const std::string &iter_name,
+                     std::vector<Value *> outer_ivs)
+{
+    size_t depth = outer_ivs.size();
+    for (const auto &b : bounds.lower) {
+        POM_ASSERT(b.expr.numDims() == depth + 1,
+                   "lower bound dim mismatch for ", iter_name);
+    }
+    for (const auto &b : bounds.upper) {
+        POM_ASSERT(b.expr.numDims() == depth + 1,
+                   "upper bound dim mismatch for ", iter_name);
+    }
+    AttrMap attrs;
+    attrs[kAttrLowerBounds] =
+        Attribute(poly::DimBounds{bounds.lower, {}});
+    attrs[kAttrUpperBounds] =
+        Attribute(poly::DimBounds{{}, bounds.upper});
+    attrs[kAttrIterName] = Attribute(iter_name);
+    auto op = Operation::create("affine.for", std::move(outer_ivs), {},
+                                std::move(attrs), 1);
+    op->region(0).addArgument(Type::index(), iter_name);
+    return insert(std::move(op));
+}
+
+Operation *
+OpBuilder::createIf(std::vector<poly::Constraint> conditions,
+                    std::vector<Value *> ivs)
+{
+    for (const auto &c : conditions) {
+        POM_ASSERT(c.expr.numDims() == ivs.size(),
+                   "condition dim mismatch in affine.if");
+    }
+    AttrMap attrs;
+    attrs[kAttrCondition] = Attribute(std::move(conditions));
+    auto op = Operation::create("affine.if", std::move(ivs), {},
+                                std::move(attrs), 1);
+    return insert(std::move(op));
+}
+
+Value *
+OpBuilder::createConstant(double value, Type type)
+{
+    POM_ASSERT(!type.isMemRef(), "constant of memref type");
+    AttrMap attrs;
+    attrs[kAttrValue] = Attribute(value);
+    auto op = Operation::create("arith.constant", {}, {type},
+                                std::move(attrs));
+    op->result(0)->type();
+    Operation *inserted = insert(std::move(op));
+    return inserted->result(0);
+}
+
+Value *
+OpBuilder::createBinary(const std::string &op_name, Value *lhs, Value *rhs)
+{
+    POM_ASSERT(lhs->type() == rhs->type(),
+               "binary op operand type mismatch in ", op_name);
+    auto op = Operation::create(op_name, {lhs, rhs}, {lhs->type()}, {});
+    Operation *inserted = insert(std::move(op));
+    return inserted->result(0);
+}
+
+Value *
+OpBuilder::createUnary(const std::string &op_name, Value *operand)
+{
+    auto op = Operation::create(op_name, {operand}, {operand->type()}, {});
+    Operation *inserted = insert(std::move(op));
+    return inserted->result(0);
+}
+
+Value *
+OpBuilder::createLoad(Value *memref, poly::AffineMap map,
+                      std::vector<Value *> ivs)
+{
+    POM_ASSERT(memref->type().isMemRef(), "affine.load needs a memref");
+    POM_ASSERT(map.numDomainDims() == ivs.size(),
+               "access map arity mismatch in affine.load");
+    POM_ASSERT(map.numResults() == memref->type().rank(),
+               "access map rank mismatch in affine.load");
+    AttrMap attrs;
+    attrs[kAttrAccessMap] = Attribute(std::move(map));
+    std::vector<Value *> operands = {memref};
+    operands.insert(operands.end(), ivs.begin(), ivs.end());
+    Type result = Type::scalar(memref->type().elementKind());
+    auto op = Operation::create("affine.load", std::move(operands),
+                                {result}, std::move(attrs));
+    Operation *inserted = insert(std::move(op));
+    return inserted->result(0);
+}
+
+Operation *
+OpBuilder::createStore(Value *value, Value *memref, poly::AffineMap map,
+                       std::vector<Value *> ivs)
+{
+    POM_ASSERT(memref->type().isMemRef(), "affine.store needs a memref");
+    POM_ASSERT(map.numDomainDims() == ivs.size(),
+               "access map arity mismatch in affine.store");
+    POM_ASSERT(map.numResults() == memref->type().rank(),
+               "access map rank mismatch in affine.store");
+    AttrMap attrs;
+    attrs[kAttrAccessMap] = Attribute(std::move(map));
+    std::vector<Value *> operands = {value, memref};
+    operands.insert(operands.end(), ivs.begin(), ivs.end());
+    auto op = Operation::create("affine.store", std::move(operands), {},
+                                std::move(attrs));
+    return insert(std::move(op));
+}
+
+} // namespace pom::ir

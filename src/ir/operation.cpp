@@ -1,0 +1,191 @@
+#include "ir/operation.h"
+
+#include <sstream>
+
+#include "support/diagnostics.h"
+#include "support/string_util.h"
+
+namespace pom::ir {
+
+Value *
+Block::addArgument(Type type, std::string name)
+{
+    auto v = std::make_unique<Value>(type, std::move(name));
+    v->owner_ = this;
+    args_.push_back(std::move(v));
+    return args_.back().get();
+}
+
+Operation *
+Block::push(std::unique_ptr<Operation> op)
+{
+    op->parent_ = this;
+    ops_.push_back(std::move(op));
+    return ops_.back().get();
+}
+
+std::unique_ptr<Operation>
+Operation::create(std::string name, std::vector<Value *> operands,
+                  std::vector<Type> result_types, AttrMap attrs,
+                  size_t num_regions)
+{
+    // make_unique cannot reach the private ctor.
+    std::unique_ptr<Operation> op(new Operation());
+    op->name_ = std::move(name);
+    op->operands_ = std::move(operands);
+    op->attrs_ = std::move(attrs);
+    for (size_t i = 0; i < result_types.size(); ++i) {
+        auto v = std::make_unique<Value>(
+            result_types[i], op->name_ + ".r" + std::to_string(i));
+        v->def_ = op.get();
+        op->results_.push_back(std::move(v));
+    }
+    for (size_t i = 0; i < num_regions; ++i)
+        op->regions_.push_back(std::make_unique<Block>());
+    for (auto &r : op->regions_)
+        r->parent_ = op.get();
+    return op;
+}
+
+bool
+Operation::hasAttr(const std::string &key) const
+{
+    return attrs_.count(key) > 0;
+}
+
+const Attribute &
+Operation::attr(const std::string &key) const
+{
+    auto it = attrs_.find(key);
+    POM_ASSERT(it != attrs_.end(), "missing attribute '", key, "' on ",
+               name_);
+    return it->second;
+}
+
+void
+Operation::setAttr(const std::string &key, Attribute value)
+{
+    attrs_[key] = std::move(value);
+}
+
+void
+Operation::removeAttr(const std::string &key)
+{
+    attrs_.erase(key);
+}
+
+std::int64_t
+Operation::intAttrOr(const std::string &key, std::int64_t dflt) const
+{
+    auto it = attrs_.find(key);
+    if (it == attrs_.end())
+        return dflt;
+    return it->second.asInt();
+}
+
+namespace {
+
+void
+printValueList(std::ostringstream &os, const std::vector<Value *> &values)
+{
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << "%" << values[i]->name();
+    }
+}
+
+void
+printOp(const Operation &op, int indent, std::ostringstream &os)
+{
+    std::string pad = support::repeat("  ", indent);
+    os << pad;
+    if (op.numResults() > 0) {
+        for (size_t i = 0; i < op.numResults(); ++i) {
+            if (i)
+                os << ", ";
+            os << "%" << op.result(i)->name();
+        }
+        os << " = ";
+    }
+    os << op.opName();
+    if (op.numOperands() > 0) {
+        os << " ";
+        printValueList(os, op.operands());
+    }
+    if (!op.attrs().empty()) {
+        os << " {";
+        bool first = true;
+        for (const auto &[key, value] : op.attrs()) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << key << " = " << value.str();
+        }
+        os << "}";
+    }
+    if (op.numResults() > 0) {
+        os << " : ";
+        for (size_t i = 0; i < op.numResults(); ++i) {
+            if (i)
+                os << ", ";
+            os << op.result(i)->type().str();
+        }
+    }
+    for (size_t r = 0; r < op.numRegions(); ++r) {
+        const Block &block = op.region(r);
+        os << " {";
+        if (block.numArguments() > 0) {
+            os << " (";
+            for (size_t i = 0; i < block.numArguments(); ++i) {
+                if (i)
+                    os << ", ";
+                os << "%" << block.argument(i)->name() << ": "
+                   << block.argument(i)->type().str();
+            }
+            os << ")";
+        }
+        os << "\n";
+        for (const auto &inner : block.operations())
+            printOp(*inner, indent + 1, os);
+        os << pad << "}";
+    }
+    os << "\n";
+}
+
+} // namespace
+
+std::string
+Attribute::str() const
+{
+    if (is<std::int64_t>())
+        return std::to_string(asInt());
+    if (is<double>())
+        return std::to_string(asFloat());
+    if (is<std::string>())
+        return "\"" + asString() + "\"";
+    if (is<std::vector<std::int64_t>>()) {
+        return "[" + support::joinMapped(asIntVector(), ", ",
+            [](std::int64_t v) { return std::to_string(v); }) + "]";
+    }
+    if (is<poly::AffineMap>())
+        return asMap().str();
+    if (is<poly::DimBounds>()) {
+        const auto &b = asBounds();
+        return "bounds(lo:" + std::to_string(b.lower.size()) + ", hi:" +
+               std::to_string(b.upper.size()) + ")";
+    }
+    if (is<std::vector<poly::Constraint>>())
+        return "constraints(" + std::to_string(asConstraints().size()) + ")";
+    return "?";
+}
+
+std::string
+Operation::str(int indent) const
+{
+    std::ostringstream os;
+    printOp(*this, indent, os);
+    return os.str();
+}
+
+} // namespace pom::ir

@@ -1,0 +1,162 @@
+#include "ir/verifier.h"
+
+#include <sstream>
+
+namespace pom::ir {
+
+namespace {
+
+void
+err(std::vector<std::string> &errors, const Operation &op,
+    const std::string &message)
+{
+    errors.push_back(op.opName() + ": " + message);
+}
+
+void
+verifyOp(const Operation &op, std::vector<std::string> &errors)
+{
+    const std::string &name = op.opName();
+
+    if (name == "func.func") {
+        if (!op.hasAttr(kAttrSymName))
+            err(errors, op, "missing sym_name");
+        if (op.numRegions() != 1)
+            err(errors, op, "expected exactly one region");
+        return;
+    }
+    if (name == "affine.for") {
+        if (op.numRegions() != 1 || op.region(0).numArguments() != 1) {
+            err(errors, op, "expected one region with one induction arg");
+            return;
+        }
+        if (!op.region(0).argument(0)->type().isIndex())
+            err(errors, op, "induction variable must be index-typed");
+        if (!op.hasAttr(kAttrLowerBounds) || !op.hasAttr(kAttrUpperBounds)) {
+            err(errors, op, "missing bound attributes");
+            return;
+        }
+        const auto &lower = op.attr(kAttrLowerBounds).asBounds().lower;
+        const auto &upper = op.attr(kAttrUpperBounds).asBounds().upper;
+        if (lower.empty())
+            err(errors, op, "no lower bounds");
+        if (upper.empty())
+            err(errors, op, "no upper bounds");
+        for (const auto &b : lower) {
+            if (b.expr.numDims() != op.numOperands() + 1)
+                err(errors, op, "lower bound arity mismatch");
+            if (b.divisor <= 0)
+                err(errors, op, "non-positive bound divisor");
+        }
+        for (const auto &b : upper) {
+            if (b.expr.numDims() != op.numOperands() + 1)
+                err(errors, op, "upper bound arity mismatch");
+            if (b.divisor <= 0)
+                err(errors, op, "non-positive bound divisor");
+        }
+        for (size_t i = 0; i < op.numOperands(); ++i) {
+            if (!op.operand(i)->type().isIndex())
+                err(errors, op, "bound operand must be index-typed");
+        }
+        if (op.hasAttr(kAttrPipelineII) &&
+            op.attr(kAttrPipelineII).asInt() < 1) {
+            err(errors, op, "pipeline II must be >= 1");
+        }
+        if (op.hasAttr(kAttrUnroll) && op.attr(kAttrUnroll).asInt() < 0)
+            err(errors, op, "unroll factor must be >= 0");
+        return;
+    }
+    if (name == "affine.if") {
+        if (op.numRegions() != 1)
+            err(errors, op, "expected one region");
+        if (!op.hasAttr(kAttrCondition)) {
+            err(errors, op, "missing condition");
+            return;
+        }
+        for (const auto &c : op.attr(kAttrCondition).asConstraints()) {
+            if (c.expr.numDims() != op.numOperands())
+                err(errors, op, "condition arity mismatch");
+        }
+        return;
+    }
+    if (name == "affine.load") {
+        if (op.numOperands() < 1 || !op.operand(0)->type().isMemRef()) {
+            err(errors, op, "first operand must be a memref");
+            return;
+        }
+        if (!op.hasAttr(kAttrAccessMap)) {
+            err(errors, op, "missing access map");
+            return;
+        }
+        const auto &map = op.attr(kAttrAccessMap).asMap();
+        if (map.numDomainDims() != op.numOperands() - 1)
+            err(errors, op, "access map arity mismatch");
+        if (map.numResults() != op.operand(0)->type().rank())
+            err(errors, op, "access map rank mismatch");
+        if (op.numResults() != 1)
+            err(errors, op, "expected one result");
+        else if (op.result(0)->type().elementKind() !=
+                 op.operand(0)->type().elementKind()) {
+            err(errors, op, "result type mismatches memref element type");
+        }
+        return;
+    }
+    if (name == "affine.store") {
+        if (op.numOperands() < 2 || !op.operand(1)->type().isMemRef()) {
+            err(errors, op, "second operand must be a memref");
+            return;
+        }
+        if (!op.hasAttr(kAttrAccessMap)) {
+            err(errors, op, "missing access map");
+            return;
+        }
+        const auto &map = op.attr(kAttrAccessMap).asMap();
+        if (map.numDomainDims() != op.numOperands() - 2)
+            err(errors, op, "access map arity mismatch");
+        if (map.numResults() != op.operand(1)->type().rank())
+            err(errors, op, "access map rank mismatch");
+        if (op.operand(0)->type().isMemRef())
+            err(errors, op, "stored value must be scalar");
+        return;
+    }
+    if (name == "arith.constant") {
+        if (!op.hasAttr(kAttrValue))
+            err(errors, op, "missing value attribute");
+        if (op.numResults() != 1)
+            err(errors, op, "expected one result");
+        return;
+    }
+    if (name.rfind("arith.", 0) == 0) {
+        if (op.numResults() != 1) {
+            err(errors, op, "expected one result");
+            return;
+        }
+        if (op.numOperands() == 2) {
+            if (!(op.operand(0)->type() == op.operand(1)->type()))
+                err(errors, op, "operand type mismatch");
+            if (!(op.result(0)->type() == op.operand(0)->type()))
+                err(errors, op, "result type mismatch");
+        } else if (op.numOperands() != 1) {
+            err(errors, op, "expected one or two operands");
+        }
+        return;
+    }
+    if (name.rfind("math.", 0) == 0) {
+        if (op.numOperands() != 1 || op.numResults() != 1)
+            err(errors, op, "expected unary math op");
+        return;
+    }
+    err(errors, op, "unknown operation");
+}
+
+} // namespace
+
+std::vector<std::string>
+verify(const Operation &op)
+{
+    std::vector<std::string> errors;
+    op.walk([&](const Operation &o) { verifyOp(o, errors); });
+    return errors;
+}
+
+} // namespace pom::ir

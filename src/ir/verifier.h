@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Structural verifier for the affine dialect subset. Run after lowering
+ * and after every annotation pass; a non-empty error list indicates a
+ * compiler bug upstream.
+ */
+
+#ifndef POM_IR_VERIFIER_H
+#define POM_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/operation.h"
+
+namespace pom::ir {
+
+/**
+ * Verify an operation tree. Returns human-readable error strings; empty
+ * means the IR is well-formed.
+ */
+std::vector<std::string> verify(const Operation &op);
+
+} // namespace pom::ir
+
+#endif // POM_IR_VERIFIER_H

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Multi-result affine maps: functions Z^n -> Z^m with affine components.
+ * Used for array access relations (iteration vector -> array subscript)
+ * and for schedules (iteration vector -> multidimensional time).
+ */
+
+#ifndef POM_POLY_AFFINE_MAP_H
+#define POM_POLY_AFFINE_MAP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "poly/integer_set.h"
+#include "poly/linear_expr.h"
+
+namespace pom::poly {
+
+/** An affine function from a named domain space to m result expressions. */
+class AffineMap
+{
+  public:
+    AffineMap() = default;
+
+    AffineMap(std::vector<std::string> domain_dims,
+              std::vector<LinearExpr> results);
+
+    /** The identity map over @p dims. */
+    static AffineMap identity(std::vector<std::string> dims);
+
+    size_t numDomainDims() const { return domain_dims_.size(); }
+    size_t numResults() const { return results_.size(); }
+
+    const std::vector<std::string> &domainDims() const
+    {
+        return domain_dims_;
+    }
+
+    const LinearExpr &result(size_t i) const { return results_.at(i); }
+    const std::vector<LinearExpr> &results() const { return results_; }
+    void setResult(size_t i, LinearExpr e);
+
+    /** Append one more result expression. */
+    void appendResult(LinearExpr e);
+
+    /** Apply to a concrete point. */
+    std::vector<std::int64_t>
+    apply(const std::vector<std::int64_t> &point) const;
+
+    /** Composition: (this o inner)(x) = this(inner(x)). */
+    AffineMap compose(const AffineMap &inner) const;
+
+    /** Insert unconstrained domain dims at @p pos in every result. */
+    AffineMap withDomainDimsInserted(size_t pos,
+                                     std::vector<std::string> names) const;
+
+    /** Remove domain dim @p i (must be unused by every result). */
+    AffineMap withDomainDimRemoved(size_t i) const;
+
+    /** Substitute domain dim @p i by @p replacement in every result. */
+    AffineMap withDomainDimSubstituted(size_t i,
+                                       const LinearExpr &replacement) const;
+
+    /** Reorder domain dims: dim i becomes dim perm[i]. */
+    AffineMap withDomainPermuted(const std::vector<size_t> &perm) const;
+
+    /** Rename domain dim @p i. */
+    AffineMap withDomainDimRenamed(size_t i, std::string name) const;
+
+    /**
+     * Image of @p domain (a set over this map's domain dims) under the
+     * map, as a set over @p result_names. Computed exactly via an
+     * existential product set and Fourier–Motzkin projection.
+     */
+    IntegerSet image(const IntegerSet &domain,
+                     std::vector<std::string> result_names) const;
+
+    /** Render as "(i, j) -> (i + 1, 2*j)". */
+    std::string str() const;
+
+    bool operator==(const AffineMap &o) const = default;
+
+  private:
+    std::vector<std::string> domain_dims_;
+    std::vector<LinearExpr> results_;
+};
+
+} // namespace pom::poly
+
+#endif // POM_POLY_AFFINE_MAP_H

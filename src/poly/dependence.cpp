@@ -1,0 +1,213 @@
+#include "poly/dependence.h"
+
+#include <sstream>
+
+#include "support/diagnostics.h"
+#include "support/math_util.h"
+
+namespace pom::poly {
+
+const char *
+directionStr(Direction d)
+{
+    switch (d) {
+      case Direction::Lt: return "<";
+      case Direction::Eq: return "=";
+      case Direction::Gt: return ">";
+      case Direction::Star: return "*";
+    }
+    return "?";
+}
+
+bool
+Dependence::isUniform() const
+{
+    for (size_t i = 0; i < distLo.size(); ++i) {
+        if (!distLo[i] || !distHi[i] || *distLo[i] != *distHi[i])
+            return false;
+    }
+    return true;
+}
+
+std::string
+Dependence::str() const
+{
+    std::ostringstream os;
+    os << array << "@level" << level << " d=(";
+    for (size_t i = 0; i < distLo.size(); ++i) {
+        if (i)
+            os << ", ";
+        if (distLo[i] && distHi[i] && *distLo[i] == *distHi[i])
+            os << *distLo[i];
+        else
+            os << directionStr(direction[i]);
+    }
+    os << ")";
+    return os.str();
+}
+
+std::pair<std::optional<std::int64_t>, std::optional<std::int64_t>>
+exprRange(const IntegerSet &set, const LinearExpr &expr)
+{
+    size_t n = set.numDims();
+    POM_ASSERT(expr.numDims() == n, "exprRange dim mismatch");
+    IntegerSet work = set.withDimsInserted(n, {"__range"});
+    LinearExpr eq = expr.withDimsInserted(n, 1) -
+                    LinearExpr::dim(n + 1, n);
+    work.addEquality(eq);
+    for (size_t i = 0; i < n; ++i)
+        work = work.projectOut(0);
+    work.simplify();
+
+    std::optional<std::int64_t> lo, hi;
+    for (const auto &c : work.constraints()) {
+        std::int64_t a = c.expr.coeff(0);
+        std::int64_t k = c.expr.constantTerm();
+        if (a == 0)
+            continue;
+        if (a > 0 || c.isEq) {
+            std::int64_t div = a > 0 ? a : -a;
+            std::int64_t num = a > 0 ? -k : k;
+            std::int64_t v = support::ceilDiv(num, div);
+            lo = lo ? std::max(*lo, v) : v;
+        }
+        if (a < 0 || c.isEq) {
+            std::int64_t div = a < 0 ? -a : a;
+            std::int64_t num = a < 0 ? k : -k;
+            std::int64_t v = support::floorDiv(num, div);
+            hi = hi ? std::min(*hi, v) : v;
+        }
+    }
+    return {lo, hi};
+}
+
+namespace {
+
+/** Derive a direction entry from a distance range. */
+Direction
+rangeDirection(std::optional<std::int64_t> lo, std::optional<std::int64_t> hi)
+{
+    if (lo && hi && *lo == 0 && *hi == 0)
+        return Direction::Eq;
+    if (lo && *lo > 0)
+        return Direction::Lt; // sink iterates after source
+    if (hi && *hi < 0)
+        return Direction::Gt;
+    return Direction::Star;
+}
+
+/**
+ * Build the dependence polytope over (s_0..s_{n-1}, t_0..t_{n-1}) for a
+ * given access pair and carrying level, or nullopt if empty.
+ */
+std::optional<IntegerSet>
+dependencePolytope(const IntegerSet &domain, const Access &src,
+                   const Access &dst, size_t level)
+{
+    size_t n = domain.numDims();
+    std::vector<std::string> t_names;
+    t_names.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        t_names.push_back("t_" + domain.dimName(i));
+
+    // Source copy over 2n dims (source dims first, then the t_* dims).
+    IntegerSet dep = domain.withDimsInserted(n, t_names);
+    // Target copy: same domain constraints shifted onto the t_* dims.
+    {
+        IntegerSet tgt = domain.withDimsInserted(0, domain.dimNames());
+        for (size_t i = 0; i < n; ++i)
+            tgt = tgt.withDimRenamed(n + i, t_names[i]);
+        dep = dep.intersect(tgt);
+    }
+
+    // Access equality: src.map(s) == dst.map(t).
+    size_t m = src.map.numResults();
+    POM_ASSERT(m == dst.map.numResults(), "access arity mismatch");
+    for (size_t j = 0; j < m; ++j) {
+        LinearExpr src_e = src.map.result(j).withDimsInserted(n, n);
+        LinearExpr dst_e = dst.map.result(j).withDimsInserted(0, n);
+        dep.addEquality(src_e - dst_e);
+    }
+
+    // Lexicographic precedence at the carrying level.
+    for (size_t k = 0; k < level; ++k) {
+        dep.addEquality(LinearExpr::dim(2 * n, n + k) -
+                        LinearExpr::dim(2 * n, k));
+    }
+    // t_level - s_level - 1 >= 0
+    LinearExpr strict = LinearExpr::dim(2 * n, n + level) -
+                        LinearExpr::dim(2 * n, level);
+    strict.setConstantTerm(-1);
+    dep.addInequality(strict);
+
+    if (dep.isEmpty())
+        return std::nullopt;
+    return dep;
+}
+
+} // namespace
+
+std::vector<Dependence>
+analyzeSelfDependences(const IntegerSet &domain,
+                       const std::vector<Access> &accesses)
+{
+    std::vector<Dependence> deps;
+    size_t n = domain.numDims();
+    if (n == 0)
+        return deps;
+
+    for (size_t a = 0; a < accesses.size(); ++a) {
+        for (size_t b = 0; b < accesses.size(); ++b) {
+            const Access &src = accesses[a];
+            const Access &dst = accesses[b];
+            if (src.array != dst.array)
+                continue;
+            if (!src.isWrite && !dst.isWrite)
+                continue; // read-read is not a dependence
+            for (size_t level = 0; level < n; ++level) {
+                auto poly = dependencePolytope(domain, src, dst, level);
+                if (!poly)
+                    continue;
+                Dependence d;
+                d.array = src.array;
+                d.srcAccess = a;
+                d.dstAccess = b;
+                d.level = level;
+                d.distLo.resize(n);
+                d.distHi.resize(n);
+                d.direction.resize(n);
+                for (size_t k = 0; k < n; ++k) {
+                    LinearExpr delta = LinearExpr::dim(2 * n, n + k) -
+                                       LinearExpr::dim(2 * n, k);
+                    auto [lo, hi] = exprRange(*poly, delta);
+                    d.distLo[k] = lo;
+                    d.distHi[k] = hi;
+                    d.direction[k] = rangeDirection(lo, hi);
+                }
+                d.carriedDistance =
+                    d.distLo[level] ? std::max<std::int64_t>(
+                                          1, *d.distLo[level])
+                                    : 1;
+                deps.push_back(std::move(d));
+            }
+        }
+    }
+    return deps;
+}
+
+bool
+producesFor(const std::vector<Access> &producer,
+            const std::vector<Access> &consumer)
+{
+    for (const auto &w : producer) {
+        if (!w.isWrite)
+            continue;
+        for (const auto &r : consumer) {
+            if (r.array == w.array)
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace pom::poly

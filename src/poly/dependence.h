@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Exact polyhedral dependence analysis: distance and direction vectors
+ * between dependent statement instances (paper §II.A and §V.A).
+ *
+ * For a statement with iteration domain D and accesses {A_k}, a
+ * loop-carried dependence between a write W and an access R of the same
+ * array exists at loop level l iff the set
+ *
+ *   { (s, t) : s, t in D,  W(s) = R(t),  s_k = t_k for k < l,
+ *     t_l >= s_l + 1 }
+ *
+ * is non-empty. The distance vector entries are the ranges of t_k - s_k
+ * over that set; an entry is "exact" when its range collapses to one
+ * value (e.g. (0, 0, 1) for the GEMM reduction in Fig. 8).
+ */
+
+#ifndef POM_POLY_DEPENDENCE_H
+#define POM_POLY_DEPENDENCE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "poly/affine_map.h"
+#include "poly/integer_set.h"
+
+namespace pom::poly {
+
+/** One array access inside a statement. */
+struct Access
+{
+    std::string array;
+    AffineMap map;     ///< iteration vector -> array subscripts
+    bool isWrite = false;
+};
+
+/** Per-dimension dependence direction ('<', '=', '>' or unknown). */
+enum class Direction { Lt, Eq, Gt, Star };
+
+/** Printable form of a direction entry. */
+const char *directionStr(Direction d);
+
+/** One dependence carried at a specific loop level. */
+struct Dependence
+{
+    std::string array;        ///< array through which the dependence flows
+    size_t srcAccess = 0;     ///< index of the (write) source access
+    size_t dstAccess = 0;     ///< index of the sink access
+    size_t level = 0;         ///< loop level carrying the dependence
+
+    /** Per-dimension distance range; entry is nullopt if unbounded. */
+    std::vector<std::optional<std::int64_t>> distLo;
+    std::vector<std::optional<std::int64_t>> distHi;
+
+    /** Direction vector derived from the distance ranges. */
+    std::vector<Direction> direction;
+
+    /**
+     * Minimal iteration distance at the carrying level (>= 1). This is
+     * the denominator of the recurrence-MII bound when the level is
+     * pipelined.
+     */
+    std::int64_t carriedDistance = 1;
+
+    /** True when every distance entry is a single constant. */
+    bool isUniform() const;
+
+    std::string str() const;
+};
+
+/**
+ * Range (min, max) of an affine expression over an integer set. Either
+ * bound is nullopt when the set leaves the expression unbounded. The set
+ * must be non-empty.
+ */
+std::pair<std::optional<std::int64_t>, std::optional<std::int64_t>>
+exprRange(const IntegerSet &set, const LinearExpr &expr);
+
+/**
+ * All loop-carried self-dependences of a statement: write->read,
+ * write->write and read->write pairs over the same array, at every
+ * carrying level.
+ *
+ * @param domain The statement's iteration domain.
+ * @param accesses Its array accesses (maps over the domain dims).
+ */
+std::vector<Dependence>
+analyzeSelfDependences(const IntegerSet &domain,
+                       const std::vector<Access> &accesses);
+
+/**
+ * Does a dependence flow from a (write) access of @p producer to any
+ * access of @p consumer? Used to build the coarse dependence graph edges
+ * from load/store sets (paper Fig. 8, step 1-2).
+ */
+bool producesFor(const std::vector<Access> &producer,
+                 const std::vector<Access> &consumer);
+
+} // namespace pom::poly
+
+#endif // POM_POLY_DEPENDENCE_H

@@ -1,0 +1,23 @@
+#include "support/diagnostics.h"
+
+#include <cstdio>
+
+namespace pom::support {
+
+void
+fatal(const std::string &message)
+{
+    throw FatalError(message);
+}
+
+void
+assertFailed(const char *cond, const char *file, int line,
+             const std::string &message)
+{
+    std::fprintf(stderr, "POM internal error: assertion `%s` failed at "
+                 "%s:%d%s%s\n", cond, file, line,
+                 message.empty() ? "" : ": ", message.c_str());
+    std::abort();
+}
+
+} // namespace pom::support

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Error reporting utilities shared by all POM libraries.
+ *
+ * Two failure modes, following the gem5 convention:
+ *  - fatal():  user-caused errors (bad schedule, malformed DSL input).
+ *    Throws pom::support::FatalError so callers and tests can observe it.
+ *  - POM_ASSERT(): internal invariant violations (compiler bugs). Aborts.
+ */
+
+#ifndef POM_SUPPORT_DIAGNOSTICS_H
+#define POM_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pom::support {
+
+/** Exception thrown for user-caused, recoverable errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+/**
+ * Report a user-caused error.
+ *
+ * @param message Human-readable description of what the user did wrong.
+ * @throws FatalError always.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/** Internal: called by POM_ASSERT on failure. Prints and aborts. */
+[[noreturn]] void
+assertFailed(const char *cond, const char *file, int line,
+             const std::string &message);
+
+/** Build a message from streamable parts: fmtMsg("x=", x, " y=", y). */
+template <typename... Args>
+std::string
+fmtMsg(const Args &...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace pom::support
+
+/**
+ * Assert an internal invariant. Active in all build types: the compiler
+ * pipeline must never silently produce wrong IR.
+ */
+#define POM_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::pom::support::assertFailed(                                   \
+                #cond, __FILE__, __LINE__,                                  \
+                ::pom::support::fmtMsg(__VA_ARGS__));                       \
+        }                                                                   \
+    } while (0)
+
+#endif // POM_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Exact rational arithmetic on 64-bit numerator/denominator, used by the
+ * Fourier–Motzkin eliminator for bound comparisons. Always kept in
+ * canonical form: denominator > 0, gcd(|num|, den) == 1.
+ */
+
+#ifndef POM_SUPPORT_RATIONAL_H
+#define POM_SUPPORT_RATIONAL_H
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "support/math_util.h"
+
+namespace pom::support {
+
+/** An exact rational number num/den with den > 0. */
+class Rational
+{
+  public:
+    constexpr Rational() : num_(0), den_(1) {}
+
+    constexpr Rational(std::int64_t value) : num_(value), den_(1) {}
+
+    constexpr
+    Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den)
+    {
+        POM_ASSERT(den_ != 0, "rational with zero denominator");
+        normalize();
+    }
+
+    constexpr std::int64_t num() const { return num_; }
+    constexpr std::int64_t den() const { return den_; }
+
+    constexpr bool isInteger() const { return den_ == 1; }
+
+    /** Largest integer <= this. */
+    constexpr std::int64_t floor() const { return floorDiv(num_, den_); }
+
+    /** Smallest integer >= this. */
+    constexpr std::int64_t ceil() const { return ceilDiv(num_, den_); }
+
+    constexpr Rational
+    operator+(const Rational &o) const
+    {
+        return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+    }
+
+    constexpr Rational
+    operator-(const Rational &o) const
+    {
+        return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+    }
+
+    constexpr Rational
+    operator*(const Rational &o) const
+    {
+        return Rational(num_ * o.num_, den_ * o.den_);
+    }
+
+    constexpr Rational
+    operator/(const Rational &o) const
+    {
+        POM_ASSERT(o.num_ != 0, "rational division by zero");
+        return Rational(num_ * o.den_, den_ * o.num_);
+    }
+
+    constexpr Rational operator-() const { return Rational(-num_, den_); }
+
+    constexpr bool
+    operator==(const Rational &o) const
+    {
+        return num_ == o.num_ && den_ == o.den_;
+    }
+
+    constexpr std::strong_ordering
+    operator<=>(const Rational &o) const
+    {
+        // Cross-multiply; denominators are positive.
+        return num_ * o.den_ <=> o.num_ * den_;
+    }
+
+    std::string
+    str() const
+    {
+        if (den_ == 1)
+            return std::to_string(num_);
+        return std::to_string(num_) + "/" + std::to_string(den_);
+    }
+
+  private:
+    constexpr void
+    normalize()
+    {
+        if (den_ < 0) {
+            num_ = -num_;
+            den_ = -den_;
+        }
+        std::int64_t g = gcd(num_, den_);
+        if (g > 1) {
+            num_ /= g;
+            den_ /= g;
+        }
+    }
+
+    std::int64_t num_;
+    std::int64_t den_;
+};
+
+} // namespace pom::support
+
+#endif // POM_SUPPORT_RATIONAL_H

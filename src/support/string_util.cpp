@@ -1,0 +1,43 @@
+#include "support/string_util.h"
+
+namespace pom::support {
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            os << sep;
+        os << parts[i];
+    }
+    return os.str();
+}
+
+std::string
+repeat(const std::string &s, int n)
+{
+    std::string out;
+    for (int i = 0; i < n; ++i)
+        out += s;
+    return out;
+}
+
+int
+countLoc(const std::string &source)
+{
+    int loc = 0;
+    std::istringstream is(source);
+    std::string line;
+    while (std::getline(is, line)) {
+        size_t pos = line.find_first_not_of(" \t\r");
+        if (pos == std::string::npos)
+            continue;
+        if (line.compare(pos, 2, "//") == 0)
+            continue;
+        ++loc;
+    }
+    return loc;
+}
+
+} // namespace pom::support

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * String helpers for IR printing and HLS C emission.
+ */
+
+#ifndef POM_SUPPORT_STRING_UTIL_H
+#define POM_SUPPORT_STRING_UTIL_H
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pom::support {
+
+/** Join the elements of @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Join arbitrary streamable items produced by @p fmt over a container. */
+template <typename Container, typename Fmt>
+std::string
+joinMapped(const Container &items, const std::string &sep, Fmt fmt)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &item : items) {
+        if (!first)
+            os << sep;
+        first = false;
+        os << fmt(item);
+    }
+    return os.str();
+}
+
+/** Repeat a string @p n times (used for indentation). */
+std::string repeat(const std::string &s, int n);
+
+/** Count the newline-separated, non-empty, non-comment lines of code. */
+int countLoc(const std::string &source);
+
+} // namespace pom::support
+
+#endif // POM_SUPPORT_STRING_UTIL_H

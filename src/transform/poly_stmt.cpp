@@ -1,0 +1,192 @@
+#include "transform/poly_stmt.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace pom::transform {
+
+using poly::AffineMap;
+using poly::IntegerSet;
+using poly::LinearExpr;
+
+std::vector<poly::Access>
+PolyStmt::transformedAccesses() const
+{
+    std::vector<poly::Access> result;
+    result.reserve(accesses.size());
+    for (const auto &a : accesses) {
+        result.push_back(poly::Access{
+            a.array, a.map.compose(sched.origMap), a.isWrite});
+    }
+    return result;
+}
+
+size_t
+PolyStmt::dimIndex(const std::string &name) const
+{
+    auto idx = sched.domain.findDim(name);
+    if (!idx) {
+        support::fatal("compute '" + sched.name + "' has no loop named '" +
+                       name + "' (loops: " + sched.domain.str() + ")");
+    }
+    return *idx;
+}
+
+void
+interchange(PolyStmt &stmt, const std::string &a, const std::string &b)
+{
+    size_t d1 = stmt.dimIndex(a);
+    size_t d2 = stmt.dimIndex(b);
+    if (d1 == d2)
+        support::fatal("interchange of a loop with itself: " + a);
+    size_t n = stmt.numDims();
+    std::vector<size_t> perm(n);
+    for (size_t i = 0; i < n; ++i)
+        perm[i] = i;
+    std::swap(perm[d1], perm[d2]);
+    stmt.sched.domain = stmt.sched.domain.permuted(perm);
+    stmt.sched.origMap = stmt.sched.origMap.withDomainPermuted(perm);
+    std::swap(stmt.sched.hwPerDim[d1], stmt.sched.hwPerDim[d2]);
+}
+
+void
+split(PolyStmt &stmt, const std::string &name, std::int64_t factor,
+      const std::string &outer, const std::string &inner)
+{
+    if (factor < 2)
+        support::fatal("split factor must be >= 2");
+    if (stmt.sched.domain.findDim(outer) || stmt.sched.domain.findDim(inner))
+        support::fatal("split: new loop name already in use");
+    size_t d = stmt.dimIndex(name);
+    size_t n = stmt.numDims();
+
+    // Domain: insert (outer, inner) after d with the decomposition
+    //   d = factor*outer + inner, 0 <= inner < factor,
+    // then project the original dim away.
+    IntegerSet dom = stmt.sched.domain.withDimsInserted(d + 1,
+                                                        {outer, inner});
+    LinearExpr decomp = LinearExpr::dim(n + 2, d) -
+                        LinearExpr::dim(n + 2, d + 1).scaled(factor) -
+                        LinearExpr::dim(n + 2, d + 2);
+    dom.addEquality(decomp);
+    dom.addDimBounds(d + 2, 0, factor - 1);
+    stmt.sched.domain = dom.projectOut(d);
+
+    // Origin map: substitute the old iterator by factor*outer + inner.
+    AffineMap om = stmt.sched.origMap.withDomainDimsInserted(
+        d + 1, {outer, inner});
+    LinearExpr repl = LinearExpr::dim(n + 2, d + 1).scaled(factor) +
+                      LinearExpr::dim(n + 2, d + 2);
+    om = om.withDomainDimSubstituted(d, repl).withDomainDimRemoved(d);
+    stmt.sched.origMap = om;
+
+    // Annotations: the split loop's annotation does not transfer.
+    stmt.sched.hwPerDim.erase(stmt.sched.hwPerDim.begin() + d);
+    stmt.sched.hwPerDim.insert(stmt.sched.hwPerDim.begin() + d, 2,
+                               ast::HwAnnotation{});
+
+    // Betas gain one inner level.
+    stmt.sched.betas.insert(stmt.sched.betas.begin() + d + 1, 0);
+}
+
+void
+tile(PolyStmt &stmt, const std::string &i, const std::string &j,
+     std::int64_t t1, std::int64_t t2, const std::string &i0,
+     const std::string &j0, const std::string &i1, const std::string &j1)
+{
+    size_t di = stmt.dimIndex(i);
+    size_t dj = stmt.dimIndex(j);
+    if (dj != di + 1) {
+        support::fatal("tile expects adjacent loops (" + i + ", " + j +
+                       "); interchange first");
+    }
+    split(stmt, i, t1, i0, i1);
+    split(stmt, j, t2, j0, j1);
+    // Now (i0, i1, j0, j1); bring the point loops inside: -> (i0, j0,
+    // i1, j1).
+    interchange(stmt, i1, j0);
+}
+
+void
+skew(PolyStmt &stmt, const std::string &i, const std::string &j,
+     std::int64_t f, const std::string &ip, const std::string &jp)
+{
+    if (f == 0)
+        support::fatal("skew factor must be non-zero");
+    if (stmt.sched.domain.findDim(jp) ||
+        (ip != i && stmt.sched.domain.findDim(ip)))
+        support::fatal("skew: new loop name already in use");
+    size_t d1 = stmt.dimIndex(i);
+    size_t d2 = stmt.dimIndex(j);
+    if (d1 >= d2) {
+        support::fatal("skew(" + i + ", " + j + "): '" + i +
+                       "' must be an outer loop of '" + j + "'");
+    }
+    size_t n = stmt.numDims();
+
+    // Domain: new dim jp with jp = j + f*i; project the old j away.
+    IntegerSet dom = stmt.sched.domain.withDimsInserted(d2 + 1, {jp});
+    LinearExpr eq = LinearExpr::dim(n + 1, d2 + 1) -
+                    LinearExpr::dim(n + 1, d2) -
+                    LinearExpr::dim(n + 1, d1).scaled(f);
+    dom.addEquality(eq);
+    dom = dom.projectOut(d2);
+    stmt.sched.domain = dom.withDimRenamed(d1, ip);
+
+    // Origin map: old j = jp - f*i.
+    AffineMap om = stmt.sched.origMap.withDomainDimsInserted(d2 + 1, {jp});
+    LinearExpr repl = LinearExpr::dim(n + 1, d2 + 1) -
+                      LinearExpr::dim(n + 1, d1).scaled(f);
+    om = om.withDomainDimSubstituted(d2, repl).withDomainDimRemoved(d2);
+    stmt.sched.origMap = om.withDomainDimRenamed(d1, ip);
+
+    // Loop structure (count, nesting) is unchanged; annotations at the
+    // skewed level are reset since the loop changed meaning.
+    stmt.sched.hwPerDim[d2] = ast::HwAnnotation{};
+}
+
+void
+placeAfter(PolyStmt &stmt, const PolyStmt &anchor, size_t shared_levels)
+{
+    if (shared_levels > anchor.numDims() || shared_levels > stmt.numDims()) {
+        support::fatal("placeAfter: cannot share " +
+                       std::to_string(shared_levels) + " levels");
+    }
+    for (size_t k = 0; k < shared_levels; ++k)
+        stmt.sched.betas[k] = anchor.sched.betas[k];
+    stmt.sched.betas[shared_levels] =
+        anchor.sched.betas[shared_levels] + 1;
+}
+
+void
+fuseInto(PolyStmt &stmt, const PolyStmt &anchor)
+{
+    size_t shared = std::min(stmt.numDims(), anchor.numDims());
+    placeAfter(stmt, anchor, shared);
+}
+
+void
+setPipeline(PolyStmt &stmt, const std::string &name, int ii)
+{
+    if (ii < 1)
+        support::fatal("pipeline II must be >= 1");
+    stmt.sched.hwPerDim.at(stmt.dimIndex(name)).pipelineII = ii;
+}
+
+void
+setUnroll(PolyStmt &stmt, const std::string &name, std::int64_t factor)
+{
+    if (factor < 0)
+        support::fatal("unroll factor must be >= 0");
+    stmt.sched.hwPerDim.at(stmt.dimIndex(name)).unrollFactor = factor;
+}
+
+std::vector<poly::Dependence>
+selfDependences(const PolyStmt &stmt)
+{
+    return poly::analyzeSelfDependences(stmt.sched.domain,
+                                        stmt.transformedAccesses());
+}
+
+} // namespace pom::transform

@@ -1,0 +1,432 @@
+#include "workloads/workloads.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace pom::workloads {
+
+using dsl::Compute;
+using dsl::Expr;
+using dsl::Placeholder;
+using dsl::Var;
+
+WorkloadPtr
+makeGemm(std::int64_t n)
+{
+    auto w = std::make_unique<Workload>("gemm");
+    Var i("i", 0, n), j("j", 0, n), k("k", 0, n);
+    Placeholder &A = w->array("A", {n, n});
+    Placeholder &B = w->array("B", {n, n});
+    Placeholder &C = w->array("C", {n, n});
+    w->compute("s", {i, j, k}, C(i, j) + A(i, k) * B(k, j), C(i, j));
+    return w;
+}
+
+WorkloadPtr
+makeBicg(std::int64_t n)
+{
+    auto w = std::make_unique<Workload>("bicg");
+    Var i("i", 0, n), j("j", 0, n);
+    Placeholder &A = w->array("A", {n, n});
+    Placeholder &p = w->array("p", {n});
+    Placeholder &r = w->array("r", {n});
+    Placeholder &q = w->array("q", {n});
+    Placeholder &s = w->array("s", {n});
+    Compute &sq = w->compute("s_q", {i, j}, q(i) + A(i, j) * p(j), q(i));
+    Compute &ss = w->compute("s_s", {i, j}, s(j) + r(i) * A(i, j), s(j));
+    ss.fuse(sq); // one loop nest with two statements (Fig. 2(a))
+    return w;
+}
+
+WorkloadPtr
+makeGesummv(std::int64_t n)
+{
+    auto w = std::make_unique<Workload>("gesummv");
+    Var i("i", 0, n), j("j", 0, n), i2("i2", 0, n);
+    Placeholder &A = w->array("A", {n, n});
+    Placeholder &B = w->array("B", {n, n});
+    Placeholder &x = w->array("x", {n});
+    Placeholder &tmp = w->array("tmp", {n});
+    Placeholder &y = w->array("y", {n});
+    Compute &s1 =
+        w->compute("s_tmp", {i, j}, tmp(i) + A(i, j) * x(j), tmp(i));
+    Compute &s2 = w->compute("s_y", {i, j}, y(i) + B(i, j) * x(j), y(i));
+    s2.fuse(s1);
+    w->compute("s_sum", {i2}, 1.5 * tmp(i2) + 1.2 * y(i2), y(i2));
+    return w;
+}
+
+WorkloadPtr
+make2mm(std::int64_t n)
+{
+    auto w = std::make_unique<Workload>("2mm");
+    Var i("i", 0, n), j("j", 0, n), k("k", 0, n);
+    Var i2("i2", 0, n), j2("j2", 0, n), k2("k2", 0, n);
+    Placeholder &A = w->array("A", {n, n});
+    Placeholder &B = w->array("B", {n, n});
+    Placeholder &C = w->array("C", {n, n});
+    Placeholder &tmp = w->array("tmp", {n, n});
+    Placeholder &D = w->array("D", {n, n});
+    w->compute("mm1", {i, j, k}, tmp(i, j) + A(i, k) * B(k, j), tmp(i, j));
+    w->compute("mm2", {i2, j2, k2}, D(i2, j2) + tmp(i2, k2) * C(k2, j2),
+               D(i2, j2));
+    return w;
+}
+
+WorkloadPtr
+make3mm(std::int64_t n)
+{
+    auto w = std::make_unique<Workload>("3mm");
+    Var i("i", 0, n), j("j", 0, n), k("k", 0, n);
+    Var i2("i2", 0, n), j2("j2", 0, n), k2("k2", 0, n);
+    Var i3("i3", 0, n), j3("j3", 0, n), k3("k3", 0, n);
+    Placeholder &A = w->array("A", {n, n});
+    Placeholder &B = w->array("B", {n, n});
+    Placeholder &C = w->array("C", {n, n});
+    Placeholder &D = w->array("D", {n, n});
+    Placeholder &E = w->array("E", {n, n});
+    Placeholder &F = w->array("F", {n, n});
+    Placeholder &G = w->array("G", {n, n});
+    w->compute("mm1", {i, j, k}, E(i, j) + A(i, k) * B(k, j), E(i, j));
+    w->compute("mm2", {i2, j2, k2}, F(i2, j2) + C(i2, k2) * D(k2, j2),
+               F(i2, j2));
+    w->compute("mm3", {i3, j3, k3}, G(i3, j3) + E(i3, k3) * F(k3, j3),
+               G(i3, j3));
+    return w;
+}
+
+WorkloadPtr
+makeAtax(std::int64_t n)
+{
+    auto w = std::make_unique<Workload>("atax");
+    Var i("i", 0, n), j("j", 0, n);
+    Var i2("i2", 0, n), j2("j2", 0, n);
+    Placeholder &A = w->array("A", {n, n});
+    Placeholder &x = w->array("x", {n});
+    Placeholder &tmp = w->array("tmp", {n});
+    Placeholder &y = w->array("y", {n});
+    w->compute("s_tmp", {i, j}, tmp(i) + A(i, j) * x(j), tmp(i));
+    w->compute("s_y", {i2, j2}, y(j2) + A(i2, j2) * tmp(i2), y(j2));
+    return w;
+}
+
+WorkloadPtr
+makeMvt(std::int64_t n)
+{
+    auto w = std::make_unique<Workload>("mvt");
+    Var i("i", 0, n), j("j", 0, n);
+    Var i2("i2", 0, n), j2("j2", 0, n);
+    Placeholder &A = w->array("A", {n, n});
+    Placeholder &x1 = w->array("x1", {n});
+    Placeholder &x2 = w->array("x2", {n});
+    Placeholder &y1 = w->array("y1", {n});
+    Placeholder &y2 = w->array("y2", {n});
+    w->compute("s_x1", {i, j}, x1(i) + A(i, j) * y1(j), x1(i));
+    w->compute("s_x2", {i2, j2}, x2(i2) + A(j2, i2) * y2(j2), x2(i2));
+    return w;
+}
+
+WorkloadPtr
+makeSyrk(std::int64_t n)
+{
+    auto w = std::make_unique<Workload>("syrk");
+    Var i("i", 0, n), j("j", 0, n), k("k", 0, n);
+    Placeholder &A = w->array("A", {n, n});
+    Placeholder &C = w->array("C", {n, n});
+    w->compute("s", {i, j, k}, C(i, j) + A(i, k) * A(j, k), C(i, j));
+    return w;
+}
+
+WorkloadPtr
+makeConv2d(std::int64_t n)
+{
+    auto w = std::make_unique<Workload>("conv2d");
+    Var y("y", 0, n - 2), x("x", 0, n - 2);
+    Var ky("ky", 0, 3), kx("kx", 0, 3);
+    Placeholder &in = w->array("img", {n, n});
+    Placeholder &kern = w->array("kern", {3, 3});
+    Placeholder &out = w->array("out", {n, n});
+    w->compute("conv", {y, x, ky, kx},
+               out(y, x) + kern(ky, kx) * in(y + ky, x + kx), out(y, x));
+    return w;
+}
+
+WorkloadPtr
+makeJacobi1d(std::int64_t n, std::int64_t steps)
+{
+    auto w = std::make_unique<Workload>("jacobi1d");
+    Var t("t", 0, steps), i("i", 1, n - 1), i2("i2", 1, n - 1);
+    Placeholder &A = w->array("A", {n});
+    Placeholder &B = w->array("B", {n});
+    Compute &s1 = w->compute(
+        "s1", {t, i}, (A(i - 1) + A(i) + A(i + 1)) / 3.0, B(i));
+    Compute &s2 = w->compute("s2", {t, i2}, B(i2), A(i2));
+    s2.after(s1, t);
+    return w;
+}
+
+WorkloadPtr
+makeJacobi2d(std::int64_t n, std::int64_t steps)
+{
+    auto w = std::make_unique<Workload>("jacobi2d");
+    Var t("t", 0, steps);
+    Var i("i", 1, n - 1), j("j", 1, n - 1);
+    Var i2("i2", 1, n - 1), j2("j2", 1, n - 1);
+    Placeholder &A = w->array("A", {n, n});
+    Placeholder &B = w->array("B", {n, n});
+    Compute &s1 = w->compute(
+        "s1", {t, i, j},
+        0.2 * (A(i, j) + A(i, j - 1) + A(i, j + 1) + A(i - 1, j) +
+               A(i + 1, j)),
+        B(i, j));
+    Compute &s2 = w->compute("s2", {t, i2, j2}, B(i2, j2), A(i2, j2));
+    s2.after(s1, t);
+    return w;
+}
+
+WorkloadPtr
+makeHeat1d(std::int64_t n, std::int64_t steps)
+{
+    auto w = std::make_unique<Workload>("heat1d");
+    Var t("t", 0, steps), i("i", 1, n - 1), i2("i2", 1, n - 1);
+    Placeholder &A = w->array("A", {n});
+    Placeholder &B = w->array("B", {n});
+    Compute &s1 = w->compute(
+        "s1", {t, i},
+        A(i) + 0.125 * (A(i + 1) - 2.0 * A(i) + A(i - 1)), B(i));
+    Compute &s2 = w->compute("s2", {t, i2}, B(i2), A(i2));
+    s2.after(s1, t);
+    return w;
+}
+
+WorkloadPtr
+makeSeidel2d(std::int64_t n, std::int64_t steps)
+{
+    auto w = std::make_unique<Workload>("seidel");
+    Var t("t", 0, steps), i("i", 1, n - 1), j("j", 1, n - 1);
+    Placeholder &A = w->array("A", {n, n});
+    w->compute("s", {t, i, j},
+               (A(i - 1, j) + A(i, j - 1) + A(i, j) + A(i, j + 1) +
+                A(i + 1, j)) /
+                   5.0,
+               A(i, j));
+    return w;
+}
+
+WorkloadPtr
+makeEdgeDetect(std::int64_t n)
+{
+    auto w = std::make_unique<Workload>("edgedetect");
+    Var i("i", 1, n - 1), j("j", 1, n - 1);
+    Var i2("i2", 1, n - 1), j2("j2", 1, n - 1);
+    Var i3("i3", 1, n - 1), j3("j3", 1, n - 1);
+    Placeholder &in = w->array("img", {n, n});
+    Placeholder &gx = w->array("gx", {n, n});
+    Placeholder &gy = w->array("gy", {n, n});
+    Placeholder &out = w->array("out", {n, n});
+    w->compute("sobel_x", {i, j},
+               (in(i - 1, j + 1) + 2.0 * in(i, j + 1) + in(i + 1, j + 1)) -
+                   (in(i - 1, j - 1) + 2.0 * in(i, j - 1) +
+                    in(i + 1, j - 1)),
+               gx(i, j));
+    w->compute("sobel_y", {i2, j2},
+               (in(i2 + 1, j2 - 1) + 2.0 * in(i2 + 1, j2) +
+                in(i2 + 1, j2 + 1)) -
+                   (in(i2 - 1, j2 - 1) + 2.0 * in(i2 - 1, j2) +
+                    in(i2 - 1, j2 + 1)),
+               gy(i2, j2));
+    w->compute("mag", {i3, j3},
+               max(gx(i3, j3), -gx(i3, j3)) +
+                   max(gy(i3, j3), -gy(i3, j3)),
+               out(i3, j3));
+    return w;
+}
+
+WorkloadPtr
+makeGaussian(std::int64_t n)
+{
+    auto w = std::make_unique<Workload>("gaussian");
+    Var i("i", 0, n), j("j", 1, n - 1);
+    Var i2("i2", 1, n - 1), j2("j2", 1, n - 1);
+    Placeholder &in = w->array("img", {n, n});
+    Placeholder &tmp = w->array("tmp", {n, n});
+    Placeholder &out = w->array("out", {n, n});
+    w->compute("gauss_h", {i, j},
+               0.25 * (in(i, j - 1) + 2.0 * in(i, j) + in(i, j + 1)),
+               tmp(i, j));
+    w->compute("gauss_v", {i2, j2},
+               0.25 * (tmp(i2 - 1, j2) + 2.0 * tmp(i2, j2) +
+                       tmp(i2 + 1, j2)),
+               out(i2, j2));
+    return w;
+}
+
+WorkloadPtr
+makeBlur(std::int64_t n)
+{
+    auto w = std::make_unique<Workload>("blur");
+    Var i("i", 0, n), j("j", 0, n - 2);
+    Var i2("i2", 0, n - 2), j2("j2", 0, n - 2);
+    Placeholder &in = w->array("img", {n, n});
+    Placeholder &bx = w->array("bx", {n, n});
+    Placeholder &out = w->array("out", {n, n});
+    w->compute("blur_x", {i, j},
+               (in(i, j) + in(i, j + 1) + in(i, j + 2)) / 3.0, bx(i, j));
+    w->compute("blur_y", {i2, j2},
+               (bx(i2, j2) + bx(i2 + 1, j2) + bx(i2 + 2, j2)) / 3.0,
+               out(i2, j2));
+    return w;
+}
+
+namespace {
+
+/** One convolution layer spec. */
+struct ConvSpec
+{
+    std::int64_t inC, outC, spatial; ///< 3x3 kernel, same-size output
+};
+
+/** Append a conv layer compute (6-level critical loop). */
+void
+addConvLayer(Workload &w, int index, const ConvSpec &spec,
+             Placeholder &input, Placeholder &output)
+{
+    std::string sfx = "_l" + std::to_string(index);
+    Placeholder &weights = w.array(
+        "w" + sfx, {spec.outC, spec.inC, 3, 3});
+    Var f("f" + sfx, 0, spec.outC);
+    Var y("y" + sfx, 0, spec.spatial);
+    Var x("x" + sfx, 0, spec.spatial);
+    Var c("c" + sfx, 0, spec.inC);
+    Var ky("ky" + sfx, 0, 3);
+    Var kx("kx" + sfx, 0, 3);
+    w.compute("conv" + sfx, {f, y, x, c, ky, kx},
+              output(f, y, x) + weights(f, c, ky, kx) *
+                                    input(c, y + ky, x + kx),
+              output(f, y, x));
+}
+
+} // namespace
+
+WorkloadPtr
+makeVgg16(std::int64_t size)
+{
+    auto w = std::make_unique<Workload>("vgg16");
+    auto cap = [&](std::int64_t c) { return std::min(c, size); };
+    // 13 conv layers with the VGG-16 channel progression; spatial sizes
+    // follow the pooling pyramid (scaled to keep a single image pass).
+    std::vector<ConvSpec> specs = {
+        {3, cap(64), 32},          {cap(64), cap(64), 32},
+        {cap(64), cap(128), 16},   {cap(128), cap(128), 16},
+        {cap(128), cap(256), 8},   {cap(256), cap(256), 8},
+        {cap(256), cap(256), 8},   {cap(256), cap(512), 4},
+        {cap(512), cap(512), 4},   {cap(512), cap(512), 4},
+        {cap(512), cap(512), 2},   {cap(512), cap(512), 2},
+        {cap(512), cap(512), 2},
+    };
+    Placeholder *input =
+        &w->array("input", {3, specs[0].spatial + 2, specs[0].spatial + 2});
+    for (size_t l = 0; l < specs.size(); ++l) {
+        Placeholder &out = w->array(
+            "act" + std::to_string(l),
+            {specs[l].outC, specs[l].spatial + 2, specs[l].spatial + 2});
+        addConvLayer(*w, static_cast<int>(l), specs[l], *input, out);
+        input = &out;
+    }
+    return w;
+}
+
+WorkloadPtr
+makeResnet18(std::int64_t size)
+{
+    auto w = std::make_unique<Workload>("resnet18");
+    auto cap = [&](std::int64_t c) { return std::min(c, size); };
+    // Stem + 4 stages x 2 blocks x 2 convs = 17 convs; 3 residual adds
+    // (20 critical loops, §VII.E).
+    std::vector<ConvSpec> specs;
+    specs.push_back({3, cap(64), 16});
+    const std::int64_t chans[4] = {cap(64), cap(128), cap(256), cap(512)};
+    const std::int64_t sizes[4] = {16, 8, 4, 2};
+    for (int stage = 0; stage < 4; ++stage) {
+        std::int64_t in_c = stage == 0 ? cap(64) : chans[stage - 1];
+        specs.push_back({in_c, chans[stage], sizes[stage]});
+        specs.push_back({chans[stage], chans[stage], sizes[stage]});
+        specs.push_back({chans[stage], chans[stage], sizes[stage]});
+        specs.push_back({chans[stage], chans[stage], sizes[stage]});
+    }
+    Placeholder *input =
+        &w->array("input", {3, specs[0].spatial + 2, specs[0].spatial + 2});
+    std::vector<Placeholder *> acts;
+    for (size_t l = 0; l < specs.size(); ++l) {
+        Placeholder &out = w->array(
+            "act" + std::to_string(l),
+            {specs[l].outC, specs[l].spatial + 2, specs[l].spatial + 2});
+        addConvLayer(*w, static_cast<int>(l), specs[l], *input, out);
+        acts.push_back(&out);
+        input = &out;
+    }
+    // Residual adds at the last three stage boundaries.
+    int res_index = 0;
+    for (int stage = 1; stage < 4; ++stage) {
+        size_t idx = static_cast<size_t>(stage * 4 + 4);
+        if (idx >= acts.size())
+            break;
+        Placeholder &a = *acts[idx];
+        Placeholder &b = *acts[idx - 2];
+        std::string sfx = "_r" + std::to_string(res_index++);
+        std::int64_t ch = specs[idx].outC;
+        std::int64_t sp = specs[idx].spatial + 2;
+        std::int64_t ch_b = specs[idx - 2].outC;
+        std::int64_t common = std::min(ch, ch_b);
+        Var c("c" + sfx, 0, common), y("y" + sfx, 0, sp),
+            x("x" + sfx, 0, sp);
+        w->compute("residual" + sfx, {c, y, x},
+                   max(a(c, y, x) + b(c, y, x), 0.0), a(c, y, x));
+    }
+    return w;
+}
+
+WorkloadPtr
+makeByName(const std::string &name, std::int64_t size)
+{
+    if (name == "gemm")
+        return makeGemm(size);
+    if (name == "bicg")
+        return makeBicg(size);
+    if (name == "gesummv")
+        return makeGesummv(size);
+    if (name == "2mm")
+        return make2mm(size);
+    if (name == "3mm")
+        return make3mm(size);
+    if (name == "atax")
+        return makeAtax(size);
+    if (name == "mvt")
+        return makeMvt(size);
+    if (name == "syrk")
+        return makeSyrk(size);
+    if (name == "conv2d")
+        return makeConv2d(size);
+    if (name == "jacobi1d")
+        return makeJacobi1d(size, std::max<std::int64_t>(2, size / 16));
+    if (name == "jacobi2d")
+        return makeJacobi2d(size, std::max<std::int64_t>(2, size / 16));
+    if (name == "heat1d")
+        return makeHeat1d(size, std::max<std::int64_t>(2, size / 16));
+    if (name == "seidel")
+        return makeSeidel2d(size, std::max<std::int64_t>(2, size / 16));
+    if (name == "edgedetect")
+        return makeEdgeDetect(size);
+    if (name == "gaussian")
+        return makeGaussian(size);
+    if (name == "blur")
+        return makeBlur(size);
+    if (name == "vgg16")
+        return makeVgg16(size);
+    if (name == "resnet18")
+        return makeResnet18(size);
+    support::fatal("unknown workload '" + name + "'");
+}
+
+} // namespace pom::workloads

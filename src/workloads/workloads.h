@@ -1,0 +1,135 @@
+/**
+ * @file
+ * DSL definitions of every benchmark in the paper's evaluation (§VII):
+ * PolyBench kernels (GEMM, BICG, GESUMMV, 2MM, 3MM), stencils with
+ * complicated access patterns (Jacobi-1d/2d, Heat-1d, Seidel-2d), image
+ * processing pipelines (EdgeDetect, Gaussian, Blur), and DNN models
+ * (VGG-16, ResNet-18 layer stacks).
+ *
+ * A Workload owns its DSL objects (Function keeps raw pointers into
+ * them), so it must outlive any lowering of its function.
+ */
+
+#ifndef POM_WORKLOADS_WORKLOADS_H
+#define POM_WORKLOADS_WORKLOADS_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsl/dsl.h"
+
+namespace pom::workloads {
+
+/** A benchmark: a DSL function plus ownership of its pieces. */
+class Workload
+{
+  public:
+    explicit Workload(std::string name) : func_(std::move(name)) {}
+
+    dsl::Function &func() { return func_; }
+    const dsl::Function &func() const { return func_; }
+
+    /** Create and register a placeholder owned by this workload. */
+    dsl::Placeholder &
+    array(const std::string &name, std::vector<std::int64_t> shape,
+          dsl::ScalarKind type = dsl::ScalarKind::F32)
+    {
+        arrays_.push_back(std::make_unique<dsl::Placeholder>(
+            func_, name, std::move(shape), type));
+        return *arrays_.back();
+    }
+
+    /** Create and register a compute owned by this workload. */
+    dsl::Compute &
+    compute(const std::string &name, std::vector<dsl::Var> iters,
+            dsl::Expr rhs, dsl::Expr dest)
+    {
+        computes_.push_back(std::make_unique<dsl::Compute>(
+            func_, name, std::move(iters), std::move(rhs),
+            std::move(dest)));
+        return *computes_.back();
+    }
+
+  private:
+    dsl::Function func_;
+    std::vector<std::unique_ptr<dsl::Placeholder>> arrays_;
+    std::vector<std::unique_ptr<dsl::Compute>> computes_;
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+// ----- Typical HLS benchmarks (PolyBench, Table III) ---------------------
+
+/** C[i][j] += A[i][k] * B[k][j]. */
+WorkloadPtr makeGemm(std::int64_t n);
+
+/** q[i] += A[i][j]*p[j];  s[j] += r[i]*A[i][j]  (fused, Fig. 2). */
+WorkloadPtr makeBicg(std::int64_t n);
+
+/** tmp = A*x; y = B*x; y = a*tmp + b*y. */
+WorkloadPtr makeGesummv(std::int64_t n);
+
+/** tmp = A*B; D = tmp*C. */
+WorkloadPtr make2mm(std::int64_t n);
+
+/** E = A*B; F = C*D; G = E*F. */
+WorkloadPtr make3mm(std::int64_t n);
+
+/** y = A^T (A x): two fused-depth matrix-vector products. */
+WorkloadPtr makeAtax(std::int64_t n);
+
+/** x1 += A y1; x2 += A^T y2 (two independent MVs, one nest each). */
+WorkloadPtr makeMvt(std::int64_t n);
+
+/** C = C + A A^T (rank-k update over the full square domain). */
+WorkloadPtr makeSyrk(std::int64_t n);
+
+/** Single-channel 3x3 convolution over an image. */
+WorkloadPtr makeConv2d(std::int64_t n);
+
+// ----- Complicated access patterns (Table VII) ----------------------------
+
+/** Jacobi-1d with a time loop and explicit copy-back (Fig. 16). */
+WorkloadPtr makeJacobi1d(std::int64_t n, std::int64_t steps);
+
+/** Jacobi-2d 5-point stencil with copy-back. */
+WorkloadPtr makeJacobi2d(std::int64_t n, std::int64_t steps);
+
+/** Heat-1d explicit finite difference. */
+WorkloadPtr makeHeat1d(std::int64_t n, std::int64_t steps);
+
+/** Seidel-2d in-place stencil (tight loop-carried dependence). */
+WorkloadPtr makeSeidel2d(std::int64_t n, std::int64_t steps);
+
+// ----- Image processing (Table V / VI) -------------------------------------
+
+/** Sobel-style edge detection: two 3x3 gradients + combine. */
+WorkloadPtr makeEdgeDetect(std::int64_t n);
+
+/** Separable Gaussian smoothing (two passes). */
+WorkloadPtr makeGaussian(std::int64_t n);
+
+/** Halide-style separable 3x3 box blur. */
+WorkloadPtr makeBlur(std::int64_t n);
+
+// ----- DNN models (Table V / Fig. 13) --------------------------------------
+
+/** VGG-16 convolution stack: 13 critical conv loops. */
+WorkloadPtr makeVgg16(std::int64_t size);
+
+/** ResNet-18: 17 conv loops + 3 residual add loops (20 critical). */
+WorkloadPtr makeResnet18(std::int64_t size);
+
+/**
+ * Look up a workload constructor by benchmark name ("gemm", "bicg",
+ * "gesummv", "2mm", "3mm", "atax", "mvt", "syrk", "conv2d",
+ * "jacobi1d", "jacobi2d", "heat1d", "seidel", "edgedetect",
+ * "gaussian", "blur", "vgg16", "resnet18").
+ */
+WorkloadPtr makeByName(const std::string &name, std::int64_t size);
+
+} // namespace pom::workloads
+
+#endif // POM_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for polyhedral AST generation: loop nesting, statement ordering
+ * via betas, fusion, partial-tile bounds, and schedule validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ast/build.h"
+#include "support/diagnostics.h"
+
+namespace {
+
+using namespace pom::ast;
+using pom::poly::IntegerSet;
+using pom::poly::LinearExpr;
+using pom::support::FatalError;
+
+ScheduledStmt
+boxStmt(const std::string &name, std::vector<std::string> dims,
+        std::vector<std::int64_t> lows, std::vector<std::int64_t> highs)
+{
+    return ScheduledStmt::identity(
+        name, IntegerSet::box(std::move(dims), lows, highs));
+}
+
+TEST(AstBuild, SingleLoopNest)
+{
+    auto s = boxStmt("S0", {"i", "j", "k"}, {0, 0, 0}, {31, 15, 7});
+    auto ast = buildAst({s});
+    ASSERT_EQ(ast->kind(), AstNode::Kind::For);
+    EXPECT_EQ(ast->iterName, "i");
+    ASSERT_EQ(ast->children.size(), 1u);
+    const AstNode &j = *ast->children[0];
+    EXPECT_EQ(j.kind(), AstNode::Kind::For);
+    EXPECT_EQ(j.iterName, "j");
+    const AstNode &k = *j.children[0];
+    EXPECT_EQ(k.iterName, "k");
+    ASSERT_EQ(k.children.size(), 1u);
+    EXPECT_EQ(k.children[0]->kind(), AstNode::Kind::User);
+    EXPECT_EQ(k.children[0]->stmtName, "S0");
+}
+
+TEST(AstBuild, SequentialStatements)
+{
+    auto s1 = boxStmt("S1", {"i"}, {0}, {9});
+    auto s2 = boxStmt("S2", {"i"}, {0}, {19});
+    s2.betas[0] = 1; // S2 after S1 at the outermost level
+    auto ast = buildAst({s1, s2});
+    ASSERT_EQ(ast->kind(), AstNode::Kind::Block);
+    ASSERT_EQ(ast->children.size(), 2u);
+    EXPECT_EQ(ast->children[0]->children[0]->stmtName, "S1");
+    EXPECT_EQ(ast->children[1]->children[0]->stmtName, "S2");
+}
+
+TEST(AstBuild, ReversedOrderByBeta)
+{
+    auto s1 = boxStmt("S1", {"i"}, {0}, {9});
+    auto s2 = boxStmt("S2", {"i"}, {0}, {19});
+    s1.betas[0] = 5;
+    s2.betas[0] = 2;
+    auto ast = buildAst({s1, s2});
+    ASSERT_EQ(ast->children.size(), 2u);
+    EXPECT_EQ(ast->children[0]->children[0]->stmtName, "S2");
+    EXPECT_EQ(ast->children[1]->children[0]->stmtName, "S1");
+}
+
+TEST(AstBuild, FusedStatementsShareLoop)
+{
+    auto s1 = boxStmt("S1", {"i"}, {0}, {9});
+    auto s2 = boxStmt("S2", {"i"}, {0}, {9});
+    s2.betas[1] = 1; // same loop, S2 after S1 in the body
+    auto ast = buildAst({s1, s2});
+    ASSERT_EQ(ast->kind(), AstNode::Kind::For);
+    ASSERT_EQ(ast->children.size(), 2u);
+    EXPECT_EQ(ast->children[0]->stmtName, "S1");
+    EXPECT_EQ(ast->children[1]->stmtName, "S2");
+}
+
+TEST(AstBuild, FusionWithDifferentBoundsIsRejected)
+{
+    auto s1 = boxStmt("S1", {"i"}, {0}, {9});
+    auto s2 = boxStmt("S2", {"i"}, {0}, {19});
+    // Same beta prefix -> attempted fusion -> bounds differ -> fatal.
+    EXPECT_THROW(buildAst({s1, s2}), FatalError);
+}
+
+TEST(AstBuild, MixedLeafAndLoopIsRejected)
+{
+    auto s1 = boxStmt("S1", {"i"}, {0}, {9});
+    ScheduledStmt s2 = ScheduledStmt::identity(
+        "S2", IntegerSet(std::vector<std::string>{}));
+    EXPECT_THROW(buildAst({s1, s2}), FatalError);
+}
+
+TEST(AstBuild, PartialTileGetsMinUpperBound)
+{
+    // Tile i in [0, 29] by 8: domain (i0, i1) with
+    // 0 <= i0 <= 3, 0 <= i1 <= 7, 8*i0 + i1 <= 29.
+    IntegerSet dom({"i0", "i1"});
+    dom.addDimBounds(0, 0, 3);
+    dom.addDimBounds(1, 0, 7);
+    dom.addInequality(LinearExpr({-8, -1}, 29));
+    auto ast = buildAst({ScheduledStmt::identity("S", dom)});
+    ASSERT_EQ(ast->kind(), AstNode::Kind::For);
+    const AstNode &inner = *ast->children[0];
+    ASSERT_EQ(inner.kind(), AstNode::Kind::For);
+    // The inner loop needs two upper bounds: i1 <= 7 and i1 <= 29 - 8*i0.
+    EXPECT_EQ(inner.bounds.upper.size(), 2u);
+    EXPECT_EQ(inner.bounds.lower.size(), 1u);
+}
+
+TEST(AstBuild, HardwareAnnotationsLandOnLoops)
+{
+    auto s = boxStmt("S", {"i", "j"}, {0, 0}, {7, 7});
+    s.hwPerDim[0].pipelineII = 1;
+    s.hwPerDim[1].unrollFactor = 4;
+    auto ast = buildAst({s});
+    EXPECT_EQ(ast->hw.pipelineII, std::optional<int>(1));
+    EXPECT_EQ(ast->children[0]->hw.unrollFactor, 4);
+}
+
+TEST(AstBuild, FusedAnnotationMismatchIsRejected)
+{
+    auto s1 = boxStmt("S1", {"i"}, {0}, {9});
+    auto s2 = boxStmt("S2", {"i"}, {0}, {9});
+    s2.betas[1] = 1;
+    s1.hwPerDim[0].pipelineII = 1;
+    EXPECT_THROW(buildAst({s1, s2}), FatalError);
+}
+
+TEST(AstBuild, ValidationErrors)
+{
+    auto ok = boxStmt("S", {"i"}, {0}, {9});
+    auto bad_beta = ok;
+    bad_beta.betas.pop_back();
+    EXPECT_THROW(buildAst({bad_beta}), FatalError);
+    auto bad_hw = ok;
+    bad_hw.hwPerDim.clear();
+    EXPECT_THROW(buildAst({bad_hw}), FatalError);
+    EXPECT_THROW(buildAst({}), FatalError);
+}
+
+TEST(AstBuild, PrintedFormIsStable)
+{
+    auto s = boxStmt("S", {"i", "j"}, {0, 0}, {3, 3});
+    s.hwPerDim[1].pipelineII = 2;
+    auto ast = buildAst({s});
+    std::string printed = ast->str();
+    EXPECT_NE(printed.find("for i = 0 .. 3"), std::string::npos);
+    EXPECT_NE(printed.find("[pipeline II=2]"), std::string::npos);
+    EXPECT_NE(printed.find("S("), std::string::npos);
+}
+
+TEST(AstBuild, SkewedDomainNest)
+{
+    // { (t, i) : 0 <= i <= 9, i <= t <= i + 8 } -- as produced by a skew.
+    IntegerSet dom({"t", "i"});
+    dom.addDimBounds(1, 0, 9);
+    dom.addInequality(LinearExpr({1, -1}, 0));
+    dom.addInequality(LinearExpr({-1, 1}, 8));
+    auto ast = buildAst({ScheduledStmt::identity("S", dom)});
+    ASSERT_EQ(ast->kind(), AstNode::Kind::For);
+    EXPECT_EQ(ast->iterName, "t");
+    // Inner loop i has bounds depending on t: max(0, t-8) .. min(9, t).
+    const AstNode &inner = *ast->children[0];
+    EXPECT_EQ(inner.bounds.lower.size(), 2u);
+    EXPECT_EQ(inner.bounds.upper.size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the HLS synthesis estimator substrate: symbolic point
+ * counting at paper-scale problem sizes, II computation (recurrence and
+ * resource MII), resource accounting, and sharing modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hls/count.h"
+#include "hls/estimator.h"
+#include "lower/lower.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace pom;
+using hls::countPoints;
+using workloads::makeByName;
+
+TEST(HlsCount, RectangularHuge)
+{
+    // 4096^3 GEMM domain counts in O(dims), no enumeration.
+    auto set = poly::IntegerSet::box({"i", "j", "k"}, {0, 0, 0},
+                                     {4095, 4095, 4095});
+    EXPECT_EQ(countPoints(set), 4096LL * 4096 * 4096);
+    auto trips = hls::avgTrips(set);
+    EXPECT_EQ(trips, (std::vector<std::int64_t>{4096, 4096, 4096}));
+}
+
+TEST(HlsCount, SkewedTriangle)
+{
+    // { (t, i) : 0 <= i <= 9, i <= t <= i + 8 } has 90 points.
+    poly::IntegerSet s({"t", "i"});
+    s.addDimBounds(1, 0, 9);
+    s.addInequality(poly::LinearExpr({1, -1}, 0));
+    s.addInequality(poly::LinearExpr({-1, 1}, 8));
+    EXPECT_EQ(countPoints(s), 90);
+    auto trips = hls::avgTrips(s);
+    EXPECT_EQ(trips[0], 18); // t spans 0..17
+    EXPECT_EQ(trips[1], 5);  // average width 90/18
+}
+
+TEST(HlsCount, EmptySet)
+{
+    auto s = poly::IntegerSet::box({"i"}, {0}, {5});
+    s.addInequality(poly::LinearExpr({1}, -100)); // i >= 100
+    EXPECT_EQ(countPoints(s), 0);
+}
+
+TEST(HlsCount, TiledDomain)
+{
+    // Split i in [0, 29] by 8: 30 points across (i0, i1).
+    poly::IntegerSet s({"i0", "i1"});
+    s.addDimBounds(0, 0, 3);
+    s.addDimBounds(1, 0, 7);
+    s.addInequality(poly::LinearExpr({-8, -1}, 29));
+    EXPECT_EQ(countPoints(s), 30);
+}
+
+TEST(HlsEstimator, UnoptimizedGemmLatency)
+{
+    auto w = makeByName("gemm", 64);
+    auto lowered = lower::lowerStmts(w->func(),
+                                     lower::extractStmts(w->func()));
+    auto report = hls::estimate(w->func(), lowered);
+    // Sequential: latency ~ n^3 * (body + loop overhead).
+    std::uint64_t iters = 64ULL * 64 * 64;
+    EXPECT_GT(report.latencyCycles, iters * 5);
+    EXPECT_LT(report.latencyCycles, iters * 40);
+    // One multiplier + one adder worth of DSPs.
+    EXPECT_GE(report.resources.dsp, 5);
+    EXPECT_LE(report.resources.dsp, 12);
+    EXPECT_GT(report.powerW, 0.0);
+    EXPECT_TRUE(report.loops.empty()); // nothing pipelined
+}
+
+TEST(HlsEstimator, PipelinedGemmGetsIIOne)
+{
+    auto w = makeByName("gemm", 64);
+    auto stmts = lower::extractStmts(w->func());
+    // Move the reduction outermost, pipeline the innermost loop.
+    transform::interchange(stmts[0], "i", "k"); // (k, j, i)
+    transform::setPipeline(stmts[0], "i", 1);
+    auto lowered = lower::lowerStmts(w->func(), std::move(stmts));
+    auto report = hls::estimate(w->func(), lowered);
+    ASSERT_EQ(report.loops.size(), 1u);
+    EXPECT_EQ(report.loops[0].achievedII, 1);
+    // Latency ~ n^3 cycles.
+    EXPECT_LT(report.latencyCycles, 64ULL * 64 * 64 * 3);
+}
+
+TEST(HlsEstimator, ReductionPipelineHasRecurrenceII)
+{
+    auto w = makeByName("gemm", 64);
+    auto stmts = lower::extractStmts(w->func());
+    // Pipelining the reduction loop k directly: the loop-carried
+    // dependence (distance 1) forces II >= dependence latency.
+    transform::setPipeline(stmts[0], "k", 1);
+    auto lowered = lower::lowerStmts(w->func(), std::move(stmts));
+    auto report = hls::estimate(w->func(), lowered);
+    ASSERT_EQ(report.loops.size(), 1u);
+    EXPECT_GT(report.loops[0].achievedII, 1);
+    EXPECT_GE(report.loops[0].recMII, report.loops[0].achievedII / 2);
+}
+
+TEST(HlsEstimator, UnrollWithoutPartitionHitsPortLimit)
+{
+    auto w = makeByName("gemm", 64);
+    auto base = lower::extractStmts(w->func());
+    transform::interchange(base[0], "i", "k"); // (k, j, i)
+
+    auto unrolled = base;
+    transform::split(unrolled[0], "i", 16, "i_o", "i_i");
+    transform::setUnroll(unrolled[0], "i_i", 0);
+    transform::setPipeline(unrolled[0], "i_o", 1);
+    auto lowered = lower::lowerStmts(w->func(), std::move(unrolled));
+    auto no_part = hls::estimate(w->func(), lowered);
+    ASSERT_EQ(no_part.loops.size(), 1u);
+    // 16 copies x several accesses through 2 ports -> resource MII.
+    EXPECT_GT(no_part.loops[0].resMII, 4);
+
+    // Partitioning the arrays removes the bottleneck.
+    for (const auto *p : w->func().placeholders()) {
+        std::vector<std::int64_t> factors(p->shape().size(), 16);
+        w->func().findPlaceholderMut(p->name())->partition(factors,
+                                                           "cyclic");
+    }
+    auto part = base;
+    transform::split(part[0], "i", 16, "i_o", "i_i");
+    transform::setUnroll(part[0], "i_i", 0);
+    transform::setPipeline(part[0], "i_o", 1);
+    auto lowered2 = lower::lowerStmts(w->func(), std::move(part));
+    auto with_part = hls::estimate(w->func(), lowered2);
+    EXPECT_LT(with_part.loops[0].achievedII,
+              no_part.loops[0].achievedII);
+    EXPECT_LT(with_part.latencyCycles, no_part.latencyCycles);
+}
+
+TEST(HlsEstimator, UnrollScalesResources)
+{
+    auto w = makeByName("gemm", 64);
+    for (const auto *p : w->func().placeholders()) {
+        w->func().findPlaceholderMut(p->name())->partition({16, 16},
+                                                           "cyclic");
+    }
+    auto base = lower::extractStmts(w->func());
+    transform::interchange(base[0], "i", "k");
+
+    auto small = base;
+    transform::split(small[0], "i", 4, "i_o", "i_i");
+    transform::setUnroll(small[0], "i_i", 0);
+    transform::setPipeline(small[0], "i_o", 1);
+    auto r4 = hls::estimate(w->func(),
+                            lower::lowerStmts(w->func(), std::move(small)));
+
+    auto big = base;
+    transform::split(big[0], "i", 16, "i_o", "i_i");
+    transform::setUnroll(big[0], "i_i", 0);
+    transform::setPipeline(big[0], "i_o", 1);
+    auto r16 = hls::estimate(w->func(),
+                             lower::lowerStmts(w->func(), std::move(big)));
+
+    EXPECT_GT(r16.resources.dsp, r4.resources.dsp * 2);
+    EXPECT_LT(r16.latencyCycles, r4.latencyCycles);
+}
+
+TEST(HlsEstimator, SharingModesDiffer)
+{
+    auto w = makeByName("2mm", 32);
+    auto lowered = lower::lowerStmts(w->func(),
+                                     lower::extractStmts(w->func()));
+    hls::EstimatorOptions reuse;
+    reuse.sharing = hls::SharingMode::Reuse;
+    hls::EstimatorOptions dataflow;
+    dataflow.sharing = hls::SharingMode::Dataflow;
+    auto r = hls::estimate(w->func(), lowered, reuse);
+    auto d = hls::estimate(w->func(), lowered, dataflow);
+    // Reuse: sequential latency, shared (max) resources. Dataflow:
+    // overlapped latency, accumulated resources.
+    EXPECT_GE(r.latencyCycles, d.latencyCycles);
+    EXPECT_LE(r.resources.dsp, d.resources.dsp);
+}
+
+TEST(HlsEstimator, ReportPrinting)
+{
+    auto w = makeByName("gemm", 32);
+    auto lowered = lower::lowerStmts(w->func(),
+                                     lower::extractStmts(w->func()));
+    auto report = hls::estimate(w->func(), lowered);
+    std::string s = report.str(hls::Device::xc7z020());
+    EXPECT_NE(s.find("latency="), std::string::npos);
+    EXPECT_NE(s.find("DSP="), std::string::npos);
+    EXPECT_EQ(report.worstII(), 1);
+    EXPECT_DOUBLE_EQ(report.speedupOver(report), 1.0);
+}
+
+TEST(HlsEstimator, DeviceScaling)
+{
+    auto device = hls::Device::xc7z020();
+    auto half = device.scaled(0.5);
+    EXPECT_EQ(half.dsp, device.dsp / 2);
+    hls::Resources r;
+    r.dsp = device.dsp;
+    EXPECT_TRUE(r.fitsIn(device));
+    EXPECT_FALSE(r.fitsIn(half));
+    auto m = hls::Resources::max(hls::Resources{10, 5, 3, 100},
+                                 hls::Resources{4, 9, 3, 50});
+    EXPECT_EQ(m.dsp, 10);
+    EXPECT_EQ(m.lut, 9);
+    EXPECT_EQ(m.bramBits, 100);
+}
+
+TEST(HlsEstimator, DnnWorkloadEstimates)
+{
+    auto w = makeByName("resnet18", 64);
+    auto lowered = lower::lowerStmts(w->func(),
+                                     lower::extractStmts(w->func()));
+    auto report = hls::estimate(w->func(), lowered);
+    EXPECT_GT(report.latencyCycles, 0u);
+    // 17 convs + residual adds as top-level nests.
+    EXPECT_EQ(report.nestLatencies.size(), 20u);
+}
+
+} // namespace

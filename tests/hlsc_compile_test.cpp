@@ -1,0 +1,92 @@
+/**
+ * @file
+ * End-to-end validity of the emitted HLS C: write the generated code to
+ * a temporary file with a small compatibility prologue (the HLS
+ * `max`/`min` intrinsics) and syntax-check it with the host C++
+ * compiler. Skipped if no compiler is available.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace pom;
+
+bool
+haveHostCompiler()
+{
+    return std::system("c++ --version > /dev/null 2>&1") == 0;
+}
+
+void
+expectCompiles(const std::string &code, const std::string &tag)
+{
+    if (!haveHostCompiler())
+        GTEST_SKIP() << "no host compiler";
+    std::string path = ::testing::TempDir() + "pom_emit_" + tag + ".cpp";
+    {
+        std::ofstream os(path);
+        os << "#include <cstdint>\n#include <cmath>\n"
+           << "using std::fmax; using std::fmin;\n"
+           << "template <typename T> T max(T a, T b) "
+           << "{ return a > b ? a : b; }\n"
+           << "template <typename T> T min(T a, T b) "
+           << "{ return a < b ? a : b; }\n"
+           << code;
+    }
+    std::string cmd = "c++ -std=c++17 -fsyntax-only -Wall \"" + path +
+                      "\" 2> \"" + path + ".log\"";
+    int rc = std::system(cmd.c_str());
+    std::string log;
+    {
+        std::ifstream is(path + ".log");
+        log.assign(std::istreambuf_iterator<char>(is),
+                   std::istreambuf_iterator<char>());
+    }
+    EXPECT_EQ(rc, 0) << "emitted code failed to compile:\n"
+                     << log << "\n--- code ---\n"
+                     << code;
+}
+
+class EmittedCodeCompiles
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(EmittedCodeCompiles, WithHostCompiler)
+{
+    auto w = workloads::makeByName(GetParam(), 64);
+    w->func().autoDSE();
+    auto result = driver::compile(w->func());
+    expectCompiles(result.hlsCode, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, EmittedCodeCompiles,
+                         ::testing::Values("gemm", "bicg", "gesummv",
+                                           "2mm", "3mm", "atax", "mvt",
+                                           "syrk", "conv2d", "jacobi1d",
+                                           "heat1d", "seidel", "blur",
+                                           "gaussian", "edgedetect"));
+
+TEST(EmittedCodeCompiles, ManualScheduleWithSkew)
+{
+    dsl::Function f("wavefront");
+    dsl::Var i("i", 1, 64), j("j", 1, 64);
+    dsl::Placeholder A(f, "A", {64, 64});
+    dsl::Compute s(f, "s", {i, j}, A(i - 1, j) + A(i, j - 1), A(i, j));
+    dsl::Var ip("ip"), jp("jp");
+    s.skew(i, j, 1, ip, jp);
+    s.interchange(ip, jp);
+    s.pipeline(ip, 1);
+    auto result = driver::compile(f);
+    expectCompiles(result.hlsCode, "wavefront");
+}
+
+} // namespace

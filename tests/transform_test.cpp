@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for polyhedral loop transformations: each transformation must be
+ * a bijection between the new and old iteration domains (checked by
+ * enumerating integer points and applying the origin map).
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "transform/poly_stmt.h"
+
+namespace {
+
+using namespace pom::transform;
+using pom::ast::ScheduledStmt;
+using pom::poly::IntegerSet;
+using pom::poly::LinearExpr;
+using pom::support::FatalError;
+
+PolyStmt
+makeStmt(std::vector<std::string> dims, std::vector<std::int64_t> lows,
+         std::vector<std::int64_t> highs)
+{
+    PolyStmt s;
+    s.sched = ScheduledStmt::identity(
+        "S", IntegerSet::box(std::move(dims), lows, highs));
+    return s;
+}
+
+/**
+ * Check that origMap maps the transformed domain bijectively onto
+ * @p original.
+ */
+void
+expectBijection(const PolyStmt &stmt, const IntegerSet &original)
+{
+    auto transformed_points = stmt.sched.domain.enumerate();
+    auto original_points = original.enumerate();
+    ASSERT_EQ(transformed_points.size(), original_points.size());
+    std::set<std::vector<std::int64_t>> image;
+    for (const auto &p : transformed_points) {
+        auto mapped = stmt.sched.origMap.apply(p);
+        EXPECT_TRUE(original.containsPoint(mapped));
+        image.insert(mapped);
+    }
+    EXPECT_EQ(image.size(), original_points.size()) << "map not injective";
+}
+
+TEST(Transform, InterchangePermutesDomain)
+{
+    auto stmt = makeStmt({"i", "j"}, {0, 0}, {3, 7});
+    auto original = stmt.sched.domain;
+    interchange(stmt, "i", "j");
+    EXPECT_EQ(stmt.sched.domain.dimName(0), "j");
+    EXPECT_EQ(stmt.sched.domain.dimName(1), "i");
+    expectBijection(stmt, original);
+}
+
+TEST(Transform, InterchangeSelfIsFatal)
+{
+    auto stmt = makeStmt({"i", "j"}, {0, 0}, {3, 3});
+    EXPECT_THROW(interchange(stmt, "i", "i"), FatalError);
+}
+
+TEST(Transform, SplitExactFactor)
+{
+    auto stmt = makeStmt({"i"}, {0}, {31});
+    auto original = stmt.sched.domain;
+    split(stmt, "i", 8, "i0", "i1");
+    ASSERT_EQ(stmt.numDims(), 2u);
+    EXPECT_EQ(stmt.sched.domain.dimName(0), "i0");
+    EXPECT_EQ(stmt.sched.domain.dimName(1), "i1");
+    EXPECT_EQ(stmt.sched.domain.countPoints(), 32u);
+    expectBijection(stmt, original);
+    // i = 8*i0 + i1 exactly.
+    for (const auto &p : stmt.sched.domain.enumerate()) {
+        auto orig = stmt.sched.origMap.apply(p);
+        EXPECT_EQ(orig[0], 8 * p[0] + p[1]);
+    }
+}
+
+TEST(Transform, SplitPartialTile)
+{
+    auto stmt = makeStmt({"i"}, {0}, {29});
+    auto original = stmt.sched.domain;
+    split(stmt, "i", 8, "i0", "i1");
+    EXPECT_EQ(stmt.sched.domain.countPoints(), 30u);
+    expectBijection(stmt, original);
+}
+
+TEST(Transform, SplitBadNamesAndFactors)
+{
+    auto stmt = makeStmt({"i", "j"}, {0, 0}, {7, 7});
+    EXPECT_THROW(split(stmt, "i", 1, "a", "b"), FatalError);
+    EXPECT_THROW(split(stmt, "i", 4, "j", "b"), FatalError);
+    EXPECT_THROW(split(stmt, "nope", 4, "a", "b"), FatalError);
+}
+
+TEST(Transform, TileProducesFourLoops)
+{
+    auto stmt = makeStmt({"i", "j"}, {0, 0}, {31, 31});
+    auto original = stmt.sched.domain;
+    tile(stmt, "i", "j", 4, 8, "i0", "j0", "i1", "j1");
+    ASSERT_EQ(stmt.numDims(), 4u);
+    EXPECT_EQ(stmt.sched.domain.dimName(0), "i0");
+    EXPECT_EQ(stmt.sched.domain.dimName(1), "j0");
+    EXPECT_EQ(stmt.sched.domain.dimName(2), "i1");
+    EXPECT_EQ(stmt.sched.domain.dimName(3), "j1");
+    EXPECT_EQ(stmt.sched.domain.countPoints(), 1024u);
+    expectBijection(stmt, original);
+}
+
+TEST(Transform, TileNonAdjacentIsFatal)
+{
+    auto stmt = makeStmt({"i", "k", "j"}, {0, 0, 0}, {7, 7, 7});
+    EXPECT_THROW(tile(stmt, "i", "j", 2, 2, "a", "b", "c", "d"),
+                 FatalError);
+}
+
+TEST(Transform, SkewIsBijective)
+{
+    auto stmt = makeStmt({"t", "i"}, {0, 0}, {4, 9});
+    auto original = stmt.sched.domain;
+    skew(stmt, "t", "i", 1, "t", "ip");
+    EXPECT_EQ(stmt.sched.domain.dimName(1), "ip");
+    expectBijection(stmt, original);
+    // ip = i + t, so original i = ip - t.
+    for (const auto &p : stmt.sched.domain.enumerate()) {
+        auto orig = stmt.sched.origMap.apply(p);
+        EXPECT_EQ(orig[0], p[0]);
+        EXPECT_EQ(orig[1], p[1] - p[0]);
+    }
+}
+
+TEST(Transform, SkewInnerMustBeInner)
+{
+    auto stmt = makeStmt({"t", "i"}, {0, 0}, {4, 4});
+    EXPECT_THROW(skew(stmt, "i", "t", 1, "a", "b"), FatalError);
+    EXPECT_THROW(skew(stmt, "t", "i", 0, "a", "b"), FatalError);
+}
+
+TEST(Transform, SkewNegativeFactor)
+{
+    auto stmt = makeStmt({"t", "i"}, {0, 0}, {3, 5});
+    auto original = stmt.sched.domain;
+    skew(stmt, "t", "i", -1, "t", "ip");
+    expectBijection(stmt, original);
+}
+
+TEST(Transform, ComposedTileAndInterchange)
+{
+    auto stmt = makeStmt({"i", "j", "k"}, {0, 0, 0}, {15, 15, 15});
+    auto original = stmt.sched.domain;
+    interchange(stmt, "i", "k"); // now (k, j, i)
+    tile(stmt, "j", "i", 4, 4, "j0", "i0", "j1", "i1");
+    split(stmt, "k", 2, "k0", "k1");
+    expectBijection(stmt, original);
+}
+
+TEST(Transform, PlaceAfterAdjustsBetas)
+{
+    auto s1 = makeStmt({"t", "i"}, {0, 0}, {9, 9});
+    auto s2 = makeStmt({"t", "i"}, {0, 0}, {9, 9});
+    s1.sched.betas[0] = 0;
+    s2.sched.betas[0] = 16;
+    placeAfter(s2, s1, 1); // share the t loop
+    EXPECT_EQ(s2.sched.betas[0], s1.sched.betas[0]);
+    EXPECT_EQ(s2.sched.betas[1], s1.sched.betas[1] + 1);
+    EXPECT_THROW(placeAfter(s2, s1, 5), FatalError);
+}
+
+TEST(Transform, FuseSharesAllLevels)
+{
+    auto s1 = makeStmt({"i", "j"}, {0, 0}, {9, 9});
+    auto s2 = makeStmt({"i", "j"}, {0, 0}, {9, 9});
+    s2.sched.betas[0] = 16;
+    fuseInto(s2, s1);
+    EXPECT_EQ(s2.sched.betas[0], s1.sched.betas[0]);
+    EXPECT_EQ(s2.sched.betas[1], s1.sched.betas[1]);
+    EXPECT_EQ(s2.sched.betas[2], s1.sched.betas[2] + 1);
+}
+
+TEST(Transform, AnnotationsFollowLoops)
+{
+    auto stmt = makeStmt({"i", "j"}, {0, 0}, {31, 31});
+    setPipeline(stmt, "i", 1);
+    setUnroll(stmt, "j", 4);
+    EXPECT_EQ(stmt.sched.hwPerDim[0].pipelineII, std::optional<int>(1));
+    EXPECT_EQ(stmt.sched.hwPerDim[1].unrollFactor, 4);
+    interchange(stmt, "i", "j");
+    EXPECT_EQ(stmt.sched.hwPerDim[1].pipelineII, std::optional<int>(1));
+    EXPECT_EQ(stmt.sched.hwPerDim[0].unrollFactor, 4);
+    EXPECT_THROW(setPipeline(stmt, "i", 0), FatalError);
+    EXPECT_THROW(setUnroll(stmt, "i", -1), FatalError);
+}
+
+/** Property sweep: split by many factors stays bijective. */
+class SplitSweep : public ::testing::TestWithParam<std::int64_t>
+{};
+
+TEST_P(SplitSweep, Bijective)
+{
+    std::int64_t factor = GetParam();
+    auto stmt = makeStmt({"i"}, {0}, {52}); // 53 iterations, prime
+    auto original = stmt.sched.domain;
+    split(stmt, "i", factor, "i0", "i1");
+    expectBijection(stmt, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, SplitSweep,
+                         ::testing::Values(2, 3, 4, 7, 8, 16, 32, 53, 64));
+
+/** Property sweep: skew factors stay bijective. */
+class SkewSweep : public ::testing::TestWithParam<std::int64_t>
+{};
+
+TEST_P(SkewSweep, Bijective)
+{
+    auto stmt = makeStmt({"t", "i"}, {0, 1}, {6, 11});
+    auto original = stmt.sched.domain;
+    skew(stmt, "t", "i", GetParam(), "tp", "ip");
+    expectBijection(stmt, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, SkewSweep,
+                         ::testing::Values(-3, -2, -1, 1, 2, 3, 5));
+
+} // namespace

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * pomc — the POM command-line compiler driver.
+ *
+ * Usage:
+ *   pomc <workload> [size] [--dse] [--framework pom|scalehls|polsca|
+ *        pluto|none] [--resources FRACTION] [--emit] [--ast] [--dsl]
+ *
+ * Compiles one of the built-in benchmark workloads (see `pomc --list`)
+ * and prints the synthesis report; optionally the generated HLS C
+ * (--emit), the polyhedral AST (--ast), or the canonical DSL source
+ * (--dsl).
+ *
+ * Examples:
+ *   pomc gemm 1024 --dse --emit
+ *   pomc bicg 4096 --framework scalehls
+ *   pomc seidel 256 --dse --ast
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/baselines.h"
+#include "driver/compiler.h"
+#include "emit/hls_emitter.h"
+#include "support/diagnostics.h"
+#include "workloads/workloads.h"
+
+using namespace pom;
+
+namespace {
+
+const char *kWorkloads[] = {
+    "gemm", "bicg", "gesummv", "2mm", "3mm", "atax", "mvt", "syrk",
+    "conv2d", "jacobi1d", "jacobi2d", "heat1d", "seidel", "edgedetect",
+    "gaussian", "blur", "vgg16", "resnet18",
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <workload> [size] [--dse] "
+                 "[--framework pom|scalehls|polsca|pluto|none] "
+                 "[--resources FRACTION] [--emit] [--ast] [--dsl]\n"
+                 "       %s --list\n",
+                 argv0, argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    if (std::strcmp(argv[1], "--list") == 0) {
+        for (const char *name : kWorkloads)
+            std::printf("%s\n", name);
+        return 0;
+    }
+
+    std::string name = argv[1];
+    std::int64_t size = 1024;
+    std::string framework = "none";
+    double fraction = 1.0;
+    bool want_emit = false, want_ast = false, want_dsl = false;
+
+    for (int a = 2; a < argc; ++a) {
+        std::string arg = argv[a];
+        if (arg == "--dse") {
+            framework = "pom";
+        } else if (arg == "--framework" && a + 1 < argc) {
+            framework = argv[++a];
+        } else if (arg == "--resources" && a + 1 < argc) {
+            fraction = std::atof(argv[++a]);
+        } else if (arg == "--emit") {
+            want_emit = true;
+        } else if (arg == "--ast") {
+            want_ast = true;
+        } else if (arg == "--dsl") {
+            want_dsl = true;
+        } else if (!arg.empty() && arg[0] != '-') {
+            size = std::atoll(arg.c_str());
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    try {
+        auto w = workloads::makeByName(name, size);
+        baselines::BaselineOptions opt;
+        opt.resourceFraction = fraction;
+
+        baselines::BaselineResult result;
+        if (framework == "pom") {
+            result = baselines::runPom(w->func(), opt);
+        } else if (framework == "scalehls") {
+            result = baselines::runScaleHlsLike(w->func(), opt);
+        } else if (framework == "polsca") {
+            result = baselines::runPolscaLike(w->func(), opt);
+        } else if (framework == "pluto") {
+            result = baselines::runPlutoLike(w->func(), opt);
+        } else if (framework == "none") {
+            result = baselines::runUnoptimized(w->func(), opt);
+        } else {
+            return usage(argv[0]);
+        }
+
+        auto device = hls::Device::xc7z020().scaled(fraction);
+        std::printf("workload:  %s (size %lld)\n", name.c_str(),
+                    static_cast<long long>(size));
+        std::printf("framework: %s (%s)\n", framework.c_str(),
+                    result.notes.c_str());
+        std::printf("report:    %s\n", result.report.str(device).c_str());
+        std::printf("toolchain: %.2f s\n", result.seconds);
+
+        if (want_dsl) {
+            std::printf("\n---- DSL ----\n%s",
+                        driver::renderDsl(w->func()).c_str());
+        }
+        if (want_ast) {
+            std::printf("\n---- polyhedral AST ----\n%s",
+                        result.design.astRoot->str().c_str());
+        }
+        if (want_emit) {
+            std::printf("\n---- HLS C ----\n%s",
+                        emit::emitHlsC(*result.design.func).c_str());
+        }
+        return 0;
+    } catch (const pom::support::FatalError &e) {
+        std::fprintf(stderr, "pomc: %s\n", e.what());
+        return 1;
+    }
+}
