@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_motivating.dir/fig02_motivating.cpp.o"
+  "CMakeFiles/fig02_motivating.dir/fig02_motivating.cpp.o.d"
+  "fig02_motivating"
+  "fig02_motivating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

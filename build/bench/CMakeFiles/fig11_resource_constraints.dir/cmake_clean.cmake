@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_resource_constraints.dir/fig11_resource_constraints.cpp.o"
+  "CMakeFiles/fig11_resource_constraints.dir/fig11_resource_constraints.cpp.o.d"
+  "fig11_resource_constraints"
+  "fig11_resource_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_resource_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

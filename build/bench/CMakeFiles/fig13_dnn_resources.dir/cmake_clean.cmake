@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_dnn_resources.dir/fig13_dnn_resources.cpp.o"
+  "CMakeFiles/fig13_dnn_resources.dir/fig13_dnn_resources.cpp.o.d"
+  "fig13_dnn_resources"
+  "fig13_dnn_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_dnn_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

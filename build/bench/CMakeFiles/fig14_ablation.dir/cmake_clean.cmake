@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_ablation.dir/fig14_ablation.cpp.o"
+  "CMakeFiles/fig14_ablation.dir/fig14_ablation.cpp.o.d"
+  "fig14_ablation"
+  "fig14_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

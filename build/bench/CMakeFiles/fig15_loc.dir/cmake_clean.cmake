@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_loc.dir/fig15_loc.cpp.o"
+  "CMakeFiles/fig15_loc.dir/fig15_loc.cpp.o.d"
+  "fig15_loc"
+  "fig15_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_toolchain.dir/micro_toolchain.cpp.o"
+  "CMakeFiles/micro_toolchain.dir/micro_toolchain.cpp.o.d"
+  "micro_toolchain"
+  "micro_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_manual_vs_dse.dir/table4_manual_vs_dse.cpp.o"
+  "CMakeFiles/table4_manual_vs_dse.dir/table4_manual_vs_dse.cpp.o.d"
+  "table4_manual_vs_dse"
+  "table4_manual_vs_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_manual_vs_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_applications.dir/table5_applications.cpp.o"
+  "CMakeFiles/table5_applications.dir/table5_applications.cpp.o.d"
+  "table5_applications"
+  "table5_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

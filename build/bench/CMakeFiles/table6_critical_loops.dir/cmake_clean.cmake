@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_critical_loops.dir/table6_critical_loops.cpp.o"
+  "CMakeFiles/table6_critical_loops.dir/table6_critical_loops.cpp.o.d"
+  "table6_critical_loops"
+  "table6_critical_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_critical_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

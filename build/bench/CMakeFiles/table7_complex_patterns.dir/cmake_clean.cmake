@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_complex_patterns.dir/table7_complex_patterns.cpp.o"
+  "CMakeFiles/table7_complex_patterns.dir/table7_complex_patterns.cpp.o.d"
+  "table7_complex_patterns"
+  "table7_complex_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_complex_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

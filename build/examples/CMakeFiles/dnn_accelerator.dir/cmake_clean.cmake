@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_accelerator.dir/dnn_accelerator.cpp.o"
+  "CMakeFiles/dnn_accelerator.dir/dnn_accelerator.cpp.o.d"
+  "dnn_accelerator"
+  "dnn_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_autodse.dir/stencil_autodse.cpp.o"
+  "CMakeFiles/stencil_autodse.dir/stencil_autodse.cpp.o.d"
+  "stencil_autodse"
+  "stencil_autodse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_autodse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("poly")
+subdirs("ast")
+subdirs("ir")
+subdirs("dsl")
+subdirs("graph")
+subdirs("transform")
+subdirs("lower")
+subdirs("hls")
+subdirs("emit")
+subdirs("dse")
+subdirs("baselines")
+subdirs("workloads")
+subdirs("driver")

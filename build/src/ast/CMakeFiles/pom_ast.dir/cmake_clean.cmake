@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pom_ast.dir/ast.cpp.o"
+  "CMakeFiles/pom_ast.dir/ast.cpp.o.d"
+  "CMakeFiles/pom_ast.dir/build.cpp.o"
+  "CMakeFiles/pom_ast.dir/build.cpp.o.d"
+  "libpom_ast.a"
+  "libpom_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pom_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pom_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/pom_baselines.dir/baselines.cpp.o.d"
+  "libpom_baselines.a"
+  "libpom_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pom_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

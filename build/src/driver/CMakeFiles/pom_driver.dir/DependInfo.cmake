@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/compiler.cpp" "src/driver/CMakeFiles/pom_driver.dir/compiler.cpp.o" "gcc" "src/driver/CMakeFiles/pom_driver.dir/compiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dse/CMakeFiles/pom_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/emit/CMakeFiles/pom_emit.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/pom_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/pom_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/pom_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pom_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/pom_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/pom_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pom_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/pom_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pom_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pom_driver.dir/compiler.cpp.o"
+  "CMakeFiles/pom_driver.dir/compiler.cpp.o.d"
+  "libpom_driver.a"
+  "libpom_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pom_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

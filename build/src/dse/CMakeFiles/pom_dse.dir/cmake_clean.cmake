@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pom_dse.dir/dse.cpp.o"
+  "CMakeFiles/pom_dse.dir/dse.cpp.o.d"
+  "libpom_dse.a"
+  "libpom_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pom_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

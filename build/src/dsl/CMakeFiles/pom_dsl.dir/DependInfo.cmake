@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/dsl.cpp" "src/dsl/CMakeFiles/pom_dsl.dir/dsl.cpp.o" "gcc" "src/dsl/CMakeFiles/pom_dsl.dir/dsl.cpp.o.d"
+  "/root/repo/src/dsl/expr.cpp" "src/dsl/CMakeFiles/pom_dsl.dir/expr.cpp.o" "gcc" "src/dsl/CMakeFiles/pom_dsl.dir/expr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pom_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/pom_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pom_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pom_dsl.dir/dsl.cpp.o"
+  "CMakeFiles/pom_dsl.dir/dsl.cpp.o.d"
+  "CMakeFiles/pom_dsl.dir/expr.cpp.o"
+  "CMakeFiles/pom_dsl.dir/expr.cpp.o.d"
+  "libpom_dsl.a"
+  "libpom_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pom_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

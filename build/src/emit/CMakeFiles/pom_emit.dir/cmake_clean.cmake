@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pom_emit.dir/hls_emitter.cpp.o"
+  "CMakeFiles/pom_emit.dir/hls_emitter.cpp.o.d"
+  "libpom_emit.a"
+  "libpom_emit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pom_emit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pom_graph.dir/dependence_graph.cpp.o"
+  "CMakeFiles/pom_graph.dir/dependence_graph.cpp.o.d"
+  "libpom_graph.a"
+  "libpom_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pom_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pom_hls.dir/count.cpp.o"
+  "CMakeFiles/pom_hls.dir/count.cpp.o.d"
+  "CMakeFiles/pom_hls.dir/estimator.cpp.o"
+  "CMakeFiles/pom_hls.dir/estimator.cpp.o.d"
+  "libpom_hls.a"
+  "libpom_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pom_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

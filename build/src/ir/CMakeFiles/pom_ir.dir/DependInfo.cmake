@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cpp" "src/ir/CMakeFiles/pom_ir.dir/builder.cpp.o" "gcc" "src/ir/CMakeFiles/pom_ir.dir/builder.cpp.o.d"
+  "/root/repo/src/ir/interpreter.cpp" "src/ir/CMakeFiles/pom_ir.dir/interpreter.cpp.o" "gcc" "src/ir/CMakeFiles/pom_ir.dir/interpreter.cpp.o.d"
+  "/root/repo/src/ir/operation.cpp" "src/ir/CMakeFiles/pom_ir.dir/operation.cpp.o" "gcc" "src/ir/CMakeFiles/pom_ir.dir/operation.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "src/ir/CMakeFiles/pom_ir.dir/type.cpp.o" "gcc" "src/ir/CMakeFiles/pom_ir.dir/type.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/ir/CMakeFiles/pom_ir.dir/verifier.cpp.o" "gcc" "src/ir/CMakeFiles/pom_ir.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poly/CMakeFiles/pom_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pom_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

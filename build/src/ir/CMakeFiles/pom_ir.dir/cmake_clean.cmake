@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pom_ir.dir/builder.cpp.o"
+  "CMakeFiles/pom_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/pom_ir.dir/interpreter.cpp.o"
+  "CMakeFiles/pom_ir.dir/interpreter.cpp.o.d"
+  "CMakeFiles/pom_ir.dir/operation.cpp.o"
+  "CMakeFiles/pom_ir.dir/operation.cpp.o.d"
+  "CMakeFiles/pom_ir.dir/type.cpp.o"
+  "CMakeFiles/pom_ir.dir/type.cpp.o.d"
+  "CMakeFiles/pom_ir.dir/verifier.cpp.o"
+  "CMakeFiles/pom_ir.dir/verifier.cpp.o.d"
+  "libpom_ir.a"
+  "libpom_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pom_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

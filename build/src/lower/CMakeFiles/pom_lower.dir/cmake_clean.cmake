@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pom_lower.dir/lower.cpp.o"
+  "CMakeFiles/pom_lower.dir/lower.cpp.o.d"
+  "libpom_lower.a"
+  "libpom_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pom_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/affine_map.cpp" "src/poly/CMakeFiles/pom_poly.dir/affine_map.cpp.o" "gcc" "src/poly/CMakeFiles/pom_poly.dir/affine_map.cpp.o.d"
+  "/root/repo/src/poly/dependence.cpp" "src/poly/CMakeFiles/pom_poly.dir/dependence.cpp.o" "gcc" "src/poly/CMakeFiles/pom_poly.dir/dependence.cpp.o.d"
+  "/root/repo/src/poly/integer_set.cpp" "src/poly/CMakeFiles/pom_poly.dir/integer_set.cpp.o" "gcc" "src/poly/CMakeFiles/pom_poly.dir/integer_set.cpp.o.d"
+  "/root/repo/src/poly/linear_expr.cpp" "src/poly/CMakeFiles/pom_poly.dir/linear_expr.cpp.o" "gcc" "src/poly/CMakeFiles/pom_poly.dir/linear_expr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pom_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

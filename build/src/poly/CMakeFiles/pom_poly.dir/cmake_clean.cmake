@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pom_poly.dir/affine_map.cpp.o"
+  "CMakeFiles/pom_poly.dir/affine_map.cpp.o.d"
+  "CMakeFiles/pom_poly.dir/dependence.cpp.o"
+  "CMakeFiles/pom_poly.dir/dependence.cpp.o.d"
+  "CMakeFiles/pom_poly.dir/integer_set.cpp.o"
+  "CMakeFiles/pom_poly.dir/integer_set.cpp.o.d"
+  "CMakeFiles/pom_poly.dir/linear_expr.cpp.o"
+  "CMakeFiles/pom_poly.dir/linear_expr.cpp.o.d"
+  "libpom_poly.a"
+  "libpom_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pom_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

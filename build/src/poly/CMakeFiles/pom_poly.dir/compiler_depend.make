@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pom_poly.
+# This may be replaced when dependencies are built.

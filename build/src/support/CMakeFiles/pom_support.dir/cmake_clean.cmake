@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pom_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/pom_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/pom_support.dir/string_util.cpp.o"
+  "CMakeFiles/pom_support.dir/string_util.cpp.o.d"
+  "libpom_support.a"
+  "libpom_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pom_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

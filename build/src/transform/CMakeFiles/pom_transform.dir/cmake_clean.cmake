@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pom_transform.dir/poly_stmt.cpp.o"
+  "CMakeFiles/pom_transform.dir/poly_stmt.cpp.o.d"
+  "libpom_transform.a"
+  "libpom_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pom_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

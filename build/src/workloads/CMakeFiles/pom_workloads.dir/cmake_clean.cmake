@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pom_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/pom_workloads.dir/workloads.cpp.o.d"
+  "libpom_workloads.a"
+  "libpom_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pom_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

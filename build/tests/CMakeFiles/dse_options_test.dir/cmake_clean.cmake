@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_options_test.dir/dse_options_test.cpp.o"
+  "CMakeFiles/dse_options_test.dir/dse_options_test.cpp.o.d"
+  "dse_options_test"
+  "dse_options_test.pdb"
+  "dse_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

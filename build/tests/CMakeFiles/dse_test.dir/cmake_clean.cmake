@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_test.dir/dse_test.cpp.o"
+  "CMakeFiles/dse_test.dir/dse_test.cpp.o.d"
+  "dse_test"
+  "dse_test.pdb"
+  "dse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

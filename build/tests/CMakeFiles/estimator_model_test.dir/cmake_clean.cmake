@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_model_test.dir/estimator_model_test.cpp.o"
+  "CMakeFiles/estimator_model_test.dir/estimator_model_test.cpp.o.d"
+  "estimator_model_test"
+  "estimator_model_test.pdb"
+  "estimator_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

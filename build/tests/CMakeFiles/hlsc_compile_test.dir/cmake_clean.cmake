@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsc_compile_test.dir/hlsc_compile_test.cpp.o"
+  "CMakeFiles/hlsc_compile_test.dir/hlsc_compile_test.cpp.o.d"
+  "hlsc_compile_test"
+  "hlsc_compile_test.pdb"
+  "hlsc_compile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsc_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

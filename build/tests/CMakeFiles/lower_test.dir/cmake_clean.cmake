@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lower_test.dir/lower_test.cpp.o"
+  "CMakeFiles/lower_test.dir/lower_test.cpp.o.d"
+  "lower_test"
+  "lower_test.pdb"
+  "lower_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/poly_test[1]_include.cmake")
+include("/root/repo/build/tests/ast_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/lower_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/hls_test[1]_include.cmake")
+include("/root/repo/build/tests/dse_test[1]_include.cmake")
+include("/root/repo/build/tests/emit_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_property_test[1]_include.cmake")
+include("/root/repo/build/tests/estimator_model_test[1]_include.cmake")
+include("/root/repo/build/tests/hlsc_compile_test[1]_include.cmake")
+include("/root/repo/build/tests/dse_options_test[1]_include.cmake")

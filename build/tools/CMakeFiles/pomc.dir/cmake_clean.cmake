@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pomc.dir/pomc.cpp.o"
+  "CMakeFiles/pomc.dir/pomc.cpp.o.d"
+  "pomc"
+  "pomc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pomc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
