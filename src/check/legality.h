@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Dependence-preservation check for transformed polyhedral statements.
+ *
+ * A PolyStmt carries both orders of its instances: the new execution
+ * order is the lexicographic order of the transformed domain, and the
+ * original order is the lexicographic order of the instance images under
+ * `sched.origMap`. A schedule is legal iff no pair of conflicting
+ * instances (same array element, at least one write) executes in the
+ * opposite relative order from the original program.
+ *
+ * The check builds, for every conflicting access pair, the violation
+ * polytope over (x, y) in D x D:
+ *
+ *   origMap(x) <lex origMap(y)   (x's instance ran first originally)
+ *   acc_a(orig(x)) = acc_b(orig(y))   (they touch the same element)
+ *   y <lex x                      (but y runs first after the transform)
+ *
+ * and reports a violation iff any such polytope contains an integer
+ * point. Both lexicographic orders are expanded level by level, so the
+ * test is a bounded family of IntegerSet emptiness queries.
+ *
+ * The check is deliberately strict: reordering a floating-point
+ * reduction (e.g. interchanging the two kernel loops of a convolution)
+ * is flagged even though the result only changes by rounding. The
+ * schedule fuzzer relies on this strictness so that every generated
+ * sequence is exactly semantics-preserving.
+ */
+
+#ifndef POM_CHECK_LEGALITY_H
+#define POM_CHECK_LEGALITY_H
+
+#include <optional>
+#include <string>
+
+#include "transform/poly_stmt.h"
+
+namespace pom::check {
+
+/**
+ * First dependence the transformed schedule of @p stmt violates, or
+ * nullopt when the schedule preserves every (self-)dependence. The
+ * returned string names the array and a witness instance pair.
+ */
+std::optional<std::string>
+findDependenceViolation(const transform::PolyStmt &stmt);
+
+/** True iff the transformed schedule preserves every dependence. */
+bool schedulePreservesDependences(const transform::PolyStmt &stmt);
+
+} // namespace pom::check
+
+#endif // POM_CHECK_LEGALITY_H

@@ -1,0 +1,171 @@
+#include "check/oracle.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/diagnostics.h"
+#include "support/string_util.h"
+
+namespace pom::check {
+
+namespace {
+
+/** Unflatten a row-major offset into per-dimension indices. */
+std::vector<std::int64_t>
+unflatten(size_t flat, const std::vector<std::int64_t> &shape)
+{
+    std::vector<std::int64_t> idx(shape.size(), 0);
+    for (size_t d = shape.size(); d-- > 0;) {
+        idx[d] = static_cast<std::int64_t>(flat) % shape[d];
+        flat /= static_cast<size_t>(shape[d]);
+    }
+    return idx;
+}
+
+/** Compact rendering of one directive for failure reports. */
+std::string
+directiveStr(const dsl::Compute &c, const dsl::Directive &d)
+{
+    using K = dsl::Directive::Kind;
+    std::ostringstream os;
+    os << c.name() << ".";
+    auto factors = [&] {
+        return support::joinMapped(d.factors, ", ",
+            [](std::int64_t f) { return std::to_string(f); });
+    };
+    switch (d.kind) {
+      case K::Interchange:
+        os << "interchange(" << d.vars[0] << ", " << d.vars[1] << ")";
+        break;
+      case K::Split:
+        os << "split(" << d.vars[0] << ", " << factors() << ", "
+           << d.newVars[0] << ", " << d.newVars[1] << ")";
+        break;
+      case K::Tile:
+        os << "tile(" << d.vars[0] << ", " << d.vars[1] << ", "
+           << factors() << ", " << support::join(d.newVars, ", ") << ")";
+        break;
+      case K::Skew:
+        os << "skew(" << d.vars[0] << ", " << d.vars[1] << ", "
+           << factors() << ", " << d.newVars[0] << ", " << d.newVars[1]
+           << ")";
+        break;
+      case K::After:
+        os << "after(" << d.other->name()
+           << (d.vars.empty() ? "" : ", " + d.vars[0]) << ")";
+        break;
+      case K::Fuse:
+        os << "fuse(" << d.other->name() << ")";
+        break;
+      case K::Pipeline:
+        os << "pipeline(" << d.vars[0] << ", " << factors() << ")";
+        break;
+      case K::Unroll:
+        os << "unroll(" << d.vars[0] << ", " << factors() << ")";
+        break;
+    }
+    return os.str();
+}
+
+/** The primitive sequence recorded on a function, one per line. */
+std::string
+scheduleStr(const dsl::Function &func)
+{
+    std::ostringstream os;
+    for (const dsl::Compute *c : func.computes()) {
+        for (const auto &d : c->directives())
+            os << "  " << directiveStr(*c, d) << "\n";
+    }
+    for (const dsl::Placeholder *p : func.placeholders()) {
+        if (p->partitionFactors().empty())
+            continue;
+        os << "  " << p->name() << ".partition({"
+           << support::joinMapped(p->partitionFactors(), ", ",
+                  [](std::int64_t f) { return std::to_string(f); })
+           << "}, \"" << p->partitionKind() << "\")\n";
+    }
+    return os.str();
+}
+
+} // namespace
+
+lower::LoweredFunction
+lowerReference(const dsl::Function &func)
+{
+    auto stmts = lower::extractStmts(func);
+    lower::applyDirectives(stmts, /*ordering_only=*/true);
+    return lower::lowerStmts(func, std::move(stmts));
+}
+
+ir::BufferMap
+runLowered(const lower::LoweredFunction &design, unsigned seed,
+           std::uint64_t *work)
+{
+    ir::BufferMap buffers = ir::makeBuffersFor(*design.func, seed);
+    std::uint64_t w = ir::runFunction(*design.func, buffers);
+    if (work)
+        *work = w;
+    return buffers;
+}
+
+OracleResult
+checkLowered(const dsl::Function &func,
+             const lower::LoweredFunction &design,
+             const OracleOptions &options)
+{
+    OracleResult result;
+    auto ref_design = lowerReference(func);
+    ir::BufferMap ref =
+        runLowered(ref_design, options.seed, &result.refWork);
+    ir::BufferMap test = runLowered(design, options.seed, &result.testWork);
+
+    for (const auto &[name, ref_buf] : ref) {
+        auto it = test.find(name);
+        if (it == test.end()) {
+            result.equivalent = false;
+            result.message = "test design has no buffer '" + name + "'";
+            return result;
+        }
+        const auto &a = ref_buf->data();
+        const auto &b = it->second->data();
+        if (a.size() != b.size()) {
+            result.equivalent = false;
+            result.message = "buffer '" + name + "' changed size";
+            return result;
+        }
+        for (size_t i = 0; i < a.size(); ++i) {
+            double tol = options.atol +
+                         options.rtol *
+                             std::max(std::abs(a[i]), std::abs(b[i]));
+            if (std::abs(a[i] - b[i]) <= tol)
+                continue;
+            result.equivalent = false;
+            Divergence div;
+            div.array = name;
+            div.index = unflatten(i, ref_buf->type().shape());
+            div.expected = a[i];
+            div.actual = b[i];
+            std::ostringstream os;
+            os << "schedule is not semantics-preserving: " << name << "[";
+            for (size_t d = 0; d < div.index.size(); ++d)
+                os << (d ? ", " : "") << div.index[d];
+            os << "] expected " << div.expected << ", got " << div.actual
+               << " (seed " << options.seed << ")\n"
+               << "offending primitive sequence:\n"
+               << scheduleStr(func);
+            result.message = os.str();
+            result.divergence = std::move(div);
+            return result;
+        }
+    }
+    return result;
+}
+
+OracleResult
+checkFunction(const dsl::Function &func, const OracleOptions &options)
+{
+    auto design = lower::lower(func);
+    return checkLowered(func, design, options);
+}
+
+} // namespace pom::check

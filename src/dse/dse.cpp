@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "check/oracle.h"
 #include "graph/dependence_graph.h"
 #include "hls/count.h"
 #include "support/diagnostics.h"
@@ -281,6 +282,7 @@ class Engine
         result.dseSeconds =
             std::chrono::duration<double>(t1 - t0).count();
         result.pointsExplored = points_;
+        result.pointsVerified = verified_;
         return result;
     }
 
@@ -589,6 +591,17 @@ class Engine
         c.design = lower::lowerStmts(func_, std::move(stmts));
         c.report = hls::estimate(func_, c.design, estOptions());
         ++points_;
+        if (opt_.verifyEachPoint) {
+            check::OracleOptions oracle;
+            oracle.seed = opt_.verifySeed;
+            check::OracleResult res =
+                check::checkLowered(func_, c.design, oracle);
+            if (!res.equivalent)
+                support::fatal("DSE produced a non-equivalent design "
+                               "point:\n" +
+                               res.message);
+            ++verified_;
+        }
         return c;
     }
 
@@ -596,6 +609,7 @@ class Engine
     DseOptions opt_;
     hls::Device device_;
     int points_ = 0;
+    int verified_ = 0;
 };
 
 } // namespace

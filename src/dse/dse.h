@@ -52,6 +52,18 @@ struct DseOptions
 
     /** Apply user-specified primitives before exploring. */
     bool applyUserDirectives = true;
+
+    /**
+     * Run every explored design point through the differential
+     * equivalence oracle (check/oracle.h) and abort the search if a
+     * transformation ever changes the program's semantics. Costs one
+     * pair of interpreter runs per point; meant for tests and debugging
+     * at interpreter-friendly sizes.
+     */
+    bool verifyEachPoint = false;
+
+    /** Buffer fill seed used by verifyEachPoint. */
+    unsigned verifySeed = 1;
 };
 
 /** Outcome of a DSE run. */
@@ -74,6 +86,9 @@ struct DseResult
 
     /** Number of design points evaluated. */
     int pointsExplored = 0;
+
+    /** Design points checked by the oracle (verifyEachPoint). */
+    int pointsVerified = 0;
 
     /** Human-readable search log. */
     std::vector<std::string> log;

@@ -5,16 +5,26 @@
  * Usage:
  *   pomc <workload> [size] [--dse] [--framework pom|scalehls|polsca|
  *        pluto|none] [--resources FRACTION] [--emit] [--ast] [--dsl]
+ *        [--verify] [--fuzz N] [--seed S]
  *
  * Compiles one of the built-in benchmark workloads (see `pomc --list`)
  * and prints the synthesis report; optionally the generated HLS C
  * (--emit), the polyhedral AST (--ast), or the canonical DSL source
  * (--dsl).
  *
+ * --verify runs the compiled design through the differential
+ * equivalence oracle (interpret it against the unscheduled reference).
+ * --fuzz N skips compilation and instead throws N random-but-legal
+ * schedules at the workload, shrinking any oracle failure to a minimal
+ * DSL reproducer; --seed S makes the run reproducible. Both default to
+ * an interpreter-friendly size unless one is given explicitly.
+ *
  * Examples:
  *   pomc gemm 1024 --dse --emit
  *   pomc bicg 4096 --framework scalehls
  *   pomc seidel 256 --dse --ast
+ *   pomc gemm --dse --verify
+ *   pomc jacobi2d --fuzz 25 --seed 1
  */
 
 #include <cstdio>
@@ -22,6 +32,8 @@
 #include <string>
 
 #include "baselines/baselines.h"
+#include "check/fuzzer.h"
+#include "check/oracle.h"
 #include "driver/compiler.h"
 #include "emit/hls_emitter.h"
 #include "support/diagnostics.h"
@@ -43,7 +55,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s <workload> [size] [--dse] "
                  "[--framework pom|scalehls|polsca|pluto|none] "
-                 "[--resources FRACTION] [--emit] [--ast] [--dsl]\n"
+                 "[--resources FRACTION] [--emit] [--ast] [--dsl] "
+                 "[--verify] [--fuzz N] [--seed S]\n"
                  "       %s --list\n",
                  argv0, argv0);
     return 2;
@@ -64,9 +77,13 @@ main(int argc, char **argv)
 
     std::string name = argv[1];
     std::int64_t size = 1024;
+    bool size_set = false;
     std::string framework = "none";
     double fraction = 1.0;
     bool want_emit = false, want_ast = false, want_dsl = false;
+    bool want_verify = false;
+    int fuzz_cases = 0;
+    unsigned seed = 1;
 
     for (int a = 2; a < argc; ++a) {
         std::string arg = argv[a];
@@ -82,14 +99,42 @@ main(int argc, char **argv)
             want_ast = true;
         } else if (arg == "--dsl") {
             want_dsl = true;
+        } else if (arg == "--verify") {
+            want_verify = true;
+        } else if (arg == "--fuzz" && a + 1 < argc) {
+            fuzz_cases = std::atoi(argv[++a]);
+            if (fuzz_cases <= 0) {
+                std::fprintf(stderr, "pomc: --fuzz expects a positive "
+                                     "case count, got '%s'\n", argv[a]);
+                return 2;
+            }
+        } else if (arg == "--seed" && a + 1 < argc) {
+            seed = static_cast<unsigned>(std::atoll(argv[++a]));
         } else if (!arg.empty() && arg[0] != '-') {
             size = std::atoll(arg.c_str());
+            size_set = true;
         } else {
             return usage(argv[0]);
         }
     }
 
     try {
+        if (fuzz_cases > 0) {
+            check::FuzzOptions fopt;
+            fopt.seed = seed;
+            fopt.cases = fuzz_cases;
+            if (size_set)
+                fopt.size = size;
+            check::FuzzResult fres = check::fuzzWorkload(name, fopt);
+            std::printf("%s\n", fres.summary().c_str());
+            return fres.ok() ? 0 : 1;
+        }
+
+        // Verification interprets the design twice; stick to a small
+        // problem size unless the user asked for a specific one.
+        if (want_verify && !size_set)
+            size = check::defaultFuzzSize(name);
+
         auto w = workloads::makeByName(name, size);
         baselines::BaselineOptions opt;
         opt.resourceFraction = fraction;
@@ -116,6 +161,23 @@ main(int argc, char **argv)
                     result.notes.c_str());
         std::printf("report:    %s\n", result.report.str(device).c_str());
         std::printf("toolchain: %.2f s\n", result.seconds);
+
+        if (want_verify) {
+            check::OracleOptions oracle;
+            oracle.seed = seed;
+            check::OracleResult res =
+                check::checkLowered(w->func(), result.design, oracle);
+            if (res.equivalent) {
+                std::printf("verify:    PASS (seed %u, %llu ref / %llu "
+                            "scheduled interpreter steps)\n",
+                            seed,
+                            static_cast<unsigned long long>(res.refWork),
+                            static_cast<unsigned long long>(res.testWork));
+            } else {
+                std::printf("verify:    FAIL\n%s\n", res.message.c_str());
+                return 1;
+            }
+        }
 
         if (want_dsl) {
             std::printf("\n---- DSL ----\n%s",
