@@ -573,6 +573,14 @@ applyScheduleOps(workloads::Workload &w,
     return true;
 }
 
+std::vector<ScheduleOp>
+generateSchedule(workloads::Workload &w, unsigned seed,
+                 const FuzzOptions &options)
+{
+    Rng rng((static_cast<std::uint64_t>(seed) << 32) ^ 1ULL);
+    return generateOps(w, rng, options);
+}
+
 FuzzResult
 fuzzWorkload(const std::string &workload, const FuzzOptions &options)
 {

@@ -125,6 +125,16 @@ std::int64_t defaultFuzzSize(const std::string &workload);
 bool applyScheduleOps(workloads::Workload &w,
                       const std::vector<ScheduleOp> &ops);
 
+/**
+ * Generate one random-but-legal primitive sequence for @p w,
+ * deterministic in @p seed. The sequence is not applied; replay it with
+ * applyScheduleOps() (on a fresh instance). Exposed so round-trip and
+ * pipeline tests can cover fuzzer-shaped schedules directly.
+ */
+std::vector<ScheduleOp> generateSchedule(workloads::Workload &w,
+                                         unsigned seed,
+                                         const FuzzOptions &options = {});
+
 /** Run @p options.cases random schedules against one workload. */
 FuzzResult fuzzWorkload(const std::string &workload,
                         const FuzzOptions &options = {});

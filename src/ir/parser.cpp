@@ -1,0 +1,628 @@
+#include "ir/parser.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "poly/affine_map.h"
+#include "poly/integer_set.h"
+#include "support/diagnostics.h"
+
+namespace pom::ir {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.';
+}
+
+bool
+isDigit(char c)
+{
+    return c >= '0' && c <= '9';
+}
+
+std::vector<std::string>
+genericDims(size_t n)
+{
+    std::vector<std::string> names;
+    names.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        std::string name = "d";
+        name += std::to_string(i);
+        names.push_back(std::move(name));
+    }
+    return names;
+}
+
+/** Nesting ceiling: way above any real design, below stack overflow. */
+constexpr int kMaxNestingDepth = 256;
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    std::unique_ptr<Operation>
+    parseModule()
+    {
+        skip();
+        auto op = parseOp();
+        skip();
+        if (!atEnd())
+            error("expected end of input after top-level operation");
+        return op;
+    }
+
+  private:
+    // ----- low-level cursor -------------------------------------------
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+
+    char
+    peek(size_t ahead = 0) const
+    {
+        size_t p = pos_ + ahead;
+        return p < text_.size() ? text_[p] : '\0';
+    }
+
+    void
+    skip()
+    {
+        while (!atEnd()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+                ++pos_;
+            } else if (c == '/' && peek(1) == '/') {
+                while (!atEnd() && text_[pos_] != '\n')
+                    ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    [[noreturn]] void
+    error(const std::string &message) const
+    {
+        size_t line = 1, col = 1;
+        for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        support::fatal("ir parser: line " + std::to_string(line) + " col " +
+                       std::to_string(col) + ": " + message);
+    }
+
+    /** Consume @p literal if it is next (after whitespace). */
+    bool
+    tryLiteral(const char *literal)
+    {
+        skip();
+        size_t n = std::char_traits<char>::length(literal);
+        if (text_.compare(pos_, n, literal) != 0)
+            return false;
+        // Keep `-` distinct from `->` so minus never eats an arrow.
+        if (n == 1 && literal[0] == '-' && peek(1) == '>')
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    void
+    expectLiteral(const char *literal)
+    {
+        if (!tryLiteral(literal))
+            error(std::string("expected '") + literal + "'");
+    }
+
+    std::string
+    parseIdent()
+    {
+        skip();
+        if (!isIdentStart(peek()))
+            error("expected identifier");
+        size_t start = pos_;
+        while (isIdentChar(peek()))
+            ++pos_;
+        return text_.substr(start, pos_ - start);
+    }
+
+    /** The name after a '%' sigil; may start with a digit. */
+    std::string
+    parseValueName()
+    {
+        if (!isIdentChar(peek()))
+            error("expected value name after '%'");
+        size_t start = pos_;
+        while (isIdentChar(peek()))
+            ++pos_;
+        return text_.substr(start, pos_ - start);
+    }
+
+    std::int64_t
+    parseInt()
+    {
+        skip();
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!isDigit(peek()))
+            error("expected integer");
+        while (isDigit(peek()))
+            ++pos_;
+        std::string token = text_.substr(start, pos_ - start);
+        errno = 0;
+        char *end = nullptr;
+        std::int64_t value = std::strtoll(token.c_str(), &end, 10);
+        if (errno == ERANGE || end != token.c_str() + token.size())
+            error("integer out of range: " + token);
+        return value;
+    }
+
+    // ----- values and scopes ------------------------------------------
+
+    void
+    define(const std::string &name, Value *value)
+    {
+        auto &scope = scopes_.back();
+        if (!scope.emplace(name, value).second)
+            error("redefinition of value '%" + name + "'");
+    }
+
+    Value *
+    resolve(const std::string &name)
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return found->second;
+        }
+        error("use of undefined value '%" + name + "'");
+    }
+
+    // ----- types -------------------------------------------------------
+
+    ScalarKind
+    parseScalarKind(const std::string &name)
+    {
+        auto kind = scalarKindByName(name);
+        if (!kind)
+            error("unknown scalar type '" + name + "'");
+        return *kind;
+    }
+
+    Type
+    parseType()
+    {
+        std::string ident = parseIdent();
+        if (ident != "memref")
+            return Type::scalar(parseScalarKind(ident));
+        expectLiteral("<");
+        std::vector<std::int64_t> shape;
+        skip();
+        while (isDigit(peek()) || peek() == '-') {
+            shape.push_back(parseInt());
+            if (peek() != 'x')
+                error("expected 'x' after memref dimension");
+            ++pos_;
+        }
+        ScalarKind elem = parseScalarKind(parseIdent());
+        expectLiteral(">");
+        return Type::memref(elem, std::move(shape));
+    }
+
+    // ----- attribute values -------------------------------------------
+
+    poly::LinearExpr
+    parseLinearExpr(const std::vector<std::string> &dims)
+    {
+        poly::LinearExpr expr(dims.size());
+        int sign = tryLiteral("-") ? -1 : 1;
+        while (true) {
+            skip();
+            if (isDigit(peek())) {
+                std::int64_t v = parseInt();
+                if (tryLiteral("*")) {
+                    size_t i = dimIndex(dims, parseIdent());
+                    expr.setCoeff(i, expr.coeff(i) + sign * v);
+                } else {
+                    expr.setConstantTerm(expr.constantTerm() + sign * v);
+                }
+            } else if (isIdentStart(peek())) {
+                size_t i = dimIndex(dims, parseIdent());
+                expr.setCoeff(i, expr.coeff(i) + sign);
+            } else {
+                error("expected linear expression term");
+            }
+            if (tryLiteral("+"))
+                sign = 1;
+            else if (tryLiteral("-"))
+                sign = -1;
+            else
+                break;
+        }
+        return expr;
+    }
+
+    size_t
+    dimIndex(const std::vector<std::string> &dims, const std::string &name)
+    {
+        for (size_t i = 0; i < dims.size(); ++i) {
+            if (dims[i] == name)
+                return i;
+        }
+        error("unknown dimension '" + name + "' in affine expression");
+    }
+
+    poly::AffineMap
+    parseAffineMapBody()
+    {
+        expectLiteral("(");
+        std::vector<std::string> dims;
+        if (!tryLiteral(")")) {
+            do {
+                std::string name = parseIdent();
+                for (const auto &d : dims) {
+                    if (d == name)
+                        error("duplicate map dimension '" + name + "'");
+                }
+                dims.push_back(std::move(name));
+            } while (tryLiteral(","));
+            expectLiteral(")");
+        }
+        expectLiteral("->");
+        expectLiteral("(");
+        std::vector<poly::LinearExpr> results;
+        if (!tryLiteral(")")) {
+            do {
+                results.push_back(parseLinearExpr(dims));
+            } while (tryLiteral(","));
+            expectLiteral(")");
+        }
+        return poly::AffineMap(std::move(dims), std::move(results));
+    }
+
+    std::vector<poly::Bound>
+    parseBoundList(const std::vector<std::string> &dims)
+    {
+        std::vector<poly::Bound> bounds;
+        expectLiteral("[");
+        if (tryLiteral("]"))
+            return bounds;
+        do {
+            expectLiteral("(");
+            poly::Bound b;
+            b.expr = parseLinearExpr(dims);
+            expectLiteral(")");
+            if (tryLiteral("/"))
+                b.divisor = parseInt();
+            bounds.push_back(std::move(b));
+        } while (tryLiteral(","));
+        expectLiteral("]");
+        return bounds;
+    }
+
+    Attribute
+    parseBoundsAttr()
+    {
+        expectLiteral("<");
+        std::int64_t n = parseInt();
+        if (n < 0 || n > 4096)
+            error("unreasonable bounds dimensionality");
+        auto dims = genericDims(static_cast<size_t>(n));
+        expectLiteral(",");
+        if (parseIdent() != "lo")
+            error("expected 'lo' bound list");
+        poly::DimBounds bounds;
+        bounds.lower = parseBoundList(dims);
+        expectLiteral(",");
+        if (parseIdent() != "hi")
+            error("expected 'hi' bound list");
+        bounds.upper = parseBoundList(dims);
+        expectLiteral(">");
+        return Attribute(std::move(bounds));
+    }
+
+    Attribute
+    parseConstraintsAttr()
+    {
+        expectLiteral("<");
+        std::int64_t n = parseInt();
+        if (n < 0 || n > 4096)
+            error("unreasonable constraint dimensionality");
+        auto dims = genericDims(static_cast<size_t>(n));
+        expectLiteral(",");
+        expectLiteral("[");
+        std::vector<poly::Constraint> constraints;
+        if (!tryLiteral("]")) {
+            do {
+                poly::Constraint c;
+                c.expr = parseLinearExpr(dims);
+                if (tryLiteral("=="))
+                    c.isEq = true;
+                else
+                    expectLiteral(">=");
+                if (parseInt() != 0)
+                    error("constraints compare against 0");
+                constraints.push_back(std::move(c));
+            } while (tryLiteral(","));
+            expectLiteral("]");
+        }
+        expectLiteral(">");
+        return Attribute(std::move(constraints));
+    }
+
+    Attribute
+    parseNumberAttr()
+    {
+        size_t start = pos_;
+        bool isFloat = false;
+        if (peek() == '-')
+            ++pos_;
+        if (peek() == 'i' || peek() == 'n') {
+            // -inf / inf / nan reached via parseAttrValue dispatch.
+            std::string word = parseIdent();
+            if (word == "inf")
+                return Attribute(text_[start] == '-' ? -HUGE_VAL
+                                                     : HUGE_VAL);
+            if (word == "nan")
+                return Attribute(std::nan(""));
+            error("expected number");
+        }
+        if (!isDigit(peek()))
+            error("expected number");
+        while (isDigit(peek()))
+            ++pos_;
+        if (peek() == '.') {
+            isFloat = true;
+            ++pos_;
+            while (isDigit(peek()))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            isFloat = true;
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!isDigit(peek()))
+                error("malformed float exponent");
+            while (isDigit(peek()))
+                ++pos_;
+        }
+        std::string token = text_.substr(start, pos_ - start);
+        errno = 0;
+        char *end = nullptr;
+        if (isFloat) {
+            double value = std::strtod(token.c_str(), &end);
+            if (end != token.c_str() + token.size())
+                error("malformed float: " + token);
+            return Attribute(value);
+        }
+        std::int64_t value = std::strtoll(token.c_str(), &end, 10);
+        if (errno == ERANGE || end != token.c_str() + token.size())
+            error("integer out of range: " + token);
+        return Attribute(value);
+    }
+
+    Attribute
+    parseStringAttr()
+    {
+        expectLiteral("\"");
+        std::string out;
+        while (true) {
+            if (atEnd())
+                error("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                if (atEnd())
+                    error("unterminated escape");
+                c = text_[pos_++];
+            }
+            out.push_back(c);
+        }
+        return Attribute(std::move(out));
+    }
+
+    Attribute
+    parseAttrValue()
+    {
+        skip();
+        char c = peek();
+        if (c == '"')
+            return parseStringAttr();
+        if (c == '[') {
+            ++pos_;
+            std::vector<std::int64_t> values;
+            if (!tryLiteral("]")) {
+                do {
+                    values.push_back(parseInt());
+                } while (tryLiteral(","));
+                expectLiteral("]");
+            }
+            return Attribute(std::move(values));
+        }
+        if (isDigit(c) || c == '-')
+            return parseNumberAttr();
+        if (isIdentStart(c)) {
+            size_t save = pos_;
+            std::string word = parseIdent();
+            if (word == "affine_map") {
+                expectLiteral("<");
+                auto map = parseAffineMapBody();
+                expectLiteral(">");
+                return Attribute(std::move(map));
+            }
+            if (word == "bounds")
+                return parseBoundsAttr();
+            if (word == "constraints")
+                return parseConstraintsAttr();
+            if (word == "inf")
+                return Attribute(HUGE_VAL);
+            if (word == "nan")
+                return Attribute(std::nan(""));
+            pos_ = save;
+        }
+        error("expected attribute value");
+    }
+
+    AttrMap
+    parseAttrDict()
+    {
+        expectLiteral("{");
+        AttrMap attrs;
+        do {
+            std::string key = parseIdent();
+            expectLiteral("=");
+            if (!attrs.emplace(key, parseAttrValue()).second)
+                error("duplicate attribute '" + key + "'");
+        } while (tryLiteral(","));
+        expectLiteral("}");
+        return attrs;
+    }
+
+    /** Distinguish `{key = ...}` (attrs) from `{...}` (a region). */
+    bool
+    attrDictAhead()
+    {
+        size_t save = pos_;
+        bool result = false;
+        if (tryLiteral("{")) {
+            skip();
+            if (isIdentStart(peek())) {
+                parseIdent();
+                skip();
+                result = peek() == '=' && peek(1) != '=';
+            }
+        }
+        pos_ = save;
+        return result;
+    }
+
+    // ----- operations --------------------------------------------------
+
+    std::unique_ptr<Operation>
+    parseOp()
+    {
+        if (++depth_ > kMaxNestingDepth)
+            error("operation nesting too deep");
+        std::vector<std::string> result_names;
+        skip();
+        if (peek() == '%') {
+            do {
+                expectLiteral("%");
+                result_names.push_back(parseValueName());
+            } while (tryLiteral(","));
+            expectLiteral("=");
+        }
+        std::string op_name = parseIdent();
+
+        std::vector<Value *> operands;
+        skip();
+        if (peek() == '%') {
+            do {
+                expectLiteral("%");
+                operands.push_back(resolve(parseValueName()));
+            } while (tryLiteral(","));
+        }
+
+        AttrMap attrs;
+        if (attrDictAhead())
+            attrs = parseAttrDict();
+
+        std::vector<Type> result_types;
+        if (tryLiteral(":")) {
+            do {
+                result_types.push_back(parseType());
+            } while (tryLiteral(","));
+        }
+        if (result_types.size() != result_names.size()) {
+            error("operation '" + op_name + "' declares " +
+                  std::to_string(result_names.size()) + " results but " +
+                  std::to_string(result_types.size()) + " result types");
+        }
+
+        auto op = Operation::create(op_name, std::move(operands),
+                                    std::move(result_types),
+                                    std::move(attrs), 0);
+        for (size_t i = 0; i < result_names.size(); ++i) {
+            op->setResultName(i, result_names[i]);
+            define(result_names[i], op->result(i));
+        }
+
+        skip();
+        while (peek() == '{') {
+            parseRegion(*op);
+            skip();
+        }
+        --depth_;
+        return op;
+    }
+
+    void
+    parseRegion(Operation &op)
+    {
+        Block *block = op.appendRegion();
+        expectLiteral("{");
+        scopes_.emplace_back();
+        if (tryLiteral("(")) {
+            do {
+                expectLiteral("%");
+                std::string name = parseValueName();
+                expectLiteral(":");
+                Type type = parseType();
+                define(name, block->addArgument(type, name));
+            } while (tryLiteral(","));
+            expectLiteral(")");
+        }
+        skip();
+        while (!atEnd() && peek() != '}')
+            block->push(parseOp());
+        expectLiteral("}");
+        scopes_.pop_back();
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+    std::vector<std::map<std::string, Value *>> scopes_ = {{}};
+};
+
+} // namespace
+
+std::unique_ptr<Operation>
+parseIr(const std::string &text)
+{
+    Parser parser(text);
+    return parser.parseModule();
+}
+
+std::unique_ptr<Operation>
+parseIr(const std::string &text, std::string *error)
+{
+    try {
+        return parseIr(text);
+    } catch (const support::FatalError &e) {
+        if (error)
+            *error = e.what();
+        return nullptr;
+    }
+}
+
+} // namespace pom::ir

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Recursive-descent parser for the textual IR emitted by
+ * Operation::str(): the MLIR-flavoured affine subset plus POM's HLS
+ * annotation attributes. Closes the print -> parse round-trip so
+ * designs can be stored in files, diffed in regression tests, and fed
+ * to pom-opt.
+ *
+ * Grammar (whitespace and //-comments are insignificant):
+ *
+ *   module     := op
+ *   op         := results? op-name operands? attr-dict? results-types?
+ *                 region*
+ *   results    := `%`id (`,` `%`id)* `=`
+ *   operands   := `%`id (`,` `%`id)*
+ *   attr-dict  := `{` key `=` attr-value (`,` key `=` attr-value)* `}`
+ *   region     := `{` (`(` `%`id `:` type (`,` ...)* `)`)? op* `}`
+ *   type       := scalar | `index` | `memref<` (int `x`)* scalar `>`
+ *   attr-value := int | float | string | `[` int-list `]`
+ *               | `affine_map<` `(` dims `)` `->` `(` exprs `)` `>`
+ *               | `bounds<` N `,` `lo[` bound-list `]` `,`
+ *                 `hi[` bound-list `]` `>`
+ *               | `constraints<` N `,` `[` constraint-list `]` `>`
+ *   bound      := `(` linear-expr `)` (`/` int)?
+ *   constraint := linear-expr (`==` | `>=`) `0`
+ *
+ * Linear expressions inside bounds/constraints are spelled over the
+ * generic dims d0..dN-1; affine maps carry their own dim names.
+ * Floats always contain `.`, an exponent, or are inf/nan, so they
+ * never collide with integer attributes.
+ */
+
+#ifndef POM_IR_PARSER_H
+#define POM_IR_PARSER_H
+
+#include <memory>
+#include <string>
+
+#include "ir/operation.h"
+
+namespace pom::ir {
+
+/**
+ * Parse one top-level operation (normally a func.func) from textual
+ * IR. The parser is safe on untrusted input: malformed text raises
+ * support::FatalError with a "line:col: message" diagnostic and never
+ * crashes.
+ */
+std::unique_ptr<Operation> parseIr(const std::string &text);
+
+/**
+ * Non-throwing variant: returns nullptr and stores the diagnostic in
+ * @p error on malformed input.
+ */
+std::unique_ptr<Operation> parseIr(const std::string &text,
+                                   std::string *error);
+
+} // namespace pom::ir
+
+#endif // POM_IR_PARSER_H

@@ -11,6 +11,7 @@
 #define POM_IR_TYPE_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,9 @@ bool isFloat(ScalarKind kind);
 
 /** Printable name, e.g. "f32", "i8", "index". */
 std::string scalarName(ScalarKind kind);
+
+/** Reverse of scalarName(); nullopt for unknown spellings. */
+std::optional<ScalarKind> scalarKindByName(const std::string &name);
 
 /** HLS C type spelling, e.g. "float", "int8_t". */
 std::string scalarCName(ScalarKind kind);

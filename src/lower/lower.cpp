@@ -4,6 +4,7 @@
 #include <map>
 
 #include "ir/builder.h"
+#include "pass/pass_manager.h"
 #include "support/diagnostics.h"
 #include "support/string_util.h"
 
@@ -401,15 +402,19 @@ class IrGen
 
 } // namespace
 
-/**
- * Attach HLS DEPENDENCE pragma hints (paper SectionV.A): for each
- * pipelined loop level, every written array with no loop-carried
- * dependence at or below that level is provably inter-iteration
- * independent, and the generated code can assert it to the HLS tool.
- */
-static void
+std::unique_ptr<ir::Operation>
+generateAffine(const dsl::Function &func,
+               const std::vector<transform::PolyStmt> &stmts,
+               const ast::AstNode &astRoot)
+{
+    IrGen gen(func, stmts);
+    return gen.run(astRoot);
+}
+
+std::size_t
 annotateDependenceHints(std::vector<transform::PolyStmt> &stmts)
 {
+    std::size_t hints = 0;
     for (auto &stmt : stmts) {
         bool any_pipeline = false;
         for (const auto &hw : stmt.sched.hwPerDim)
@@ -430,36 +435,54 @@ annotateDependenceHints(std::vector<transform::PolyStmt> &stmts)
                     if (d.array == acc.array && d.level >= p)
                         carried_inside = true;
                 }
-                if (!carried_inside)
+                if (!carried_inside) {
                     hw.independentArrays.push_back(acc.array);
+                    ++hints;
+                }
             }
         }
     }
+    return hints;
 }
+
+namespace {
+
+LoweredFunction
+runLoweringPipeline(const dsl::Function &func,
+                    std::vector<transform::PolyStmt> stmts,
+                    const std::string &pipeline)
+{
+    registerLoweringPasses();
+    pass::PipelineState state;
+    state.dslFunc = &func;
+    state.stmts = std::move(stmts);
+    pass::PassManager pm;
+    pm.addPipeline(pipeline);
+    pm.run(state);
+    LoweredFunction out;
+    out.func = std::move(state.func);
+    out.astRoot = std::move(state.astRoot);
+    out.stmts = std::move(state.stmts);
+    return out;
+}
+
+} // namespace
 
 LoweredFunction
 lowerStmts(const dsl::Function &func,
            std::vector<transform::PolyStmt> stmts)
 {
-    annotateDependenceHints(stmts);
-    std::vector<ast::ScheduledStmt> sched;
-    sched.reserve(stmts.size());
-    for (const auto &s : stmts)
-        sched.push_back(s.sched);
-    LoweredFunction out;
-    out.astRoot = ast::buildAst(sched);
-    IrGen gen(func, stmts);
-    out.func = gen.run(*out.astRoot);
-    out.stmts = std::move(stmts);
-    return out;
+    return runLoweringPipeline(func, std::move(stmts),
+                               "annotate-pragmas,build-ast,ast-to-affine");
 }
 
 LoweredFunction
 lower(const dsl::Function &func)
 {
-    auto stmts = extractStmts(func);
-    applyDirectives(stmts);
-    return lowerStmts(func, std::move(stmts));
+    return runLoweringPipeline(
+        func, {},
+        "extract-stmts,schedule-apply,annotate-pragmas,build-ast,"
+        "ast-to-affine");
 }
 
 } // namespace pom::lower

@@ -52,12 +52,36 @@ std::vector<transform::PolyStmt> extractStmts(const dsl::Function &func);
 void applyDirectives(std::vector<transform::PolyStmt> &stmts,
                      bool ordering_only = false);
 
+/**
+ * Attach HLS DEPENDENCE pragma hints (paper Section V.A): for each
+ * pipelined loop level, every written array with no loop-carried
+ * dependence at or below that level is provably inter-iteration
+ * independent, and the generated code can assert it to the HLS tool.
+ * Returns the number of (loop level, array) hints attached.
+ */
+std::size_t
+annotateDependenceHints(std::vector<transform::PolyStmt> &stmts);
+
+/** Generate annotated affine dialect from a polyhedral AST. */
+std::unique_ptr<ir::Operation>
+generateAffine(const dsl::Function &func,
+               const std::vector<transform::PolyStmt> &stmts,
+               const ast::AstNode &astRoot);
+
 /** Build the polyhedral AST and generate annotated affine dialect. */
 LoweredFunction lowerStmts(const dsl::Function &func,
                            std::vector<transform::PolyStmt> stmts);
 
 /** Full pipeline: extract, apply primitives, build AST, generate IR. */
 LoweredFunction lower(const dsl::Function &func);
+
+/**
+ * Register the front-end lowering passes (extract-stmts,
+ * schedule-apply, annotate-pragmas, build-ast, ast-to-affine) with the
+ * global PassRegistry. Idempotent; lower()/lowerStmts() call it, so
+ * only direct PassManager users (pom-opt, tests) need it explicitly.
+ */
+void registerLoweringPasses();
 
 /**
  * Extract the affine subscript of a DSL index expression over the given

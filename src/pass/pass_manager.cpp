@@ -1,0 +1,344 @@
+#include "pass/pass_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+#include "ir/verifier.h"
+#include "support/diagnostics.h"
+
+namespace pom::pass {
+
+// Defined in ir_passes.cpp (same library): verify, strip-hls, count-ops.
+void registerCoreIrPasses(PassRegistry &registry);
+
+// ----- PassRegistry ------------------------------------------------------
+
+PassRegistry &
+PassRegistry::instance()
+{
+    static PassRegistry *registry = [] {
+        auto *r = new PassRegistry();
+        registerCoreIrPasses(*r);
+        return r;
+    }();
+    return *registry;
+}
+
+void
+PassRegistry::add(const std::string &name, const std::string &description,
+                  PassFactory factory)
+{
+    auto [it, inserted] =
+        entries_.emplace(name, Entry{description, std::move(factory)});
+    (void)it;
+    if (!inserted)
+        support::fatal("pass '" + name + "' registered twice");
+}
+
+bool
+PassRegistry::known(const std::string &name) const
+{
+    return entries_.count(name) > 0;
+}
+
+std::unique_ptr<Pass>
+PassRegistry::create(const std::string &name,
+                     const PassOptions &options) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        std::string known_names;
+        for (const auto &[n, e] : entries_) {
+            (void)e;
+            known_names += known_names.empty() ? n : ", " + n;
+        }
+        support::fatal("unknown pass '" + name + "' (known passes: " +
+                       known_names + ")");
+    }
+    auto pass = it->second.factory(options);
+    POM_ASSERT(pass != nullptr, "factory for pass '", name,
+               "' returned null");
+    return pass;
+}
+
+std::vector<std::pair<std::string, std::string>>
+PassRegistry::list() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_)
+        out.emplace_back(name, entry.description);
+    return out;
+}
+
+// ----- pipeline spec parsing ---------------------------------------------
+
+std::vector<std::pair<std::string, PassOptions>>
+parsePipelineSpec(const std::string &spec)
+{
+    std::vector<std::pair<std::string, PassOptions>> pipeline;
+    size_t pos = 0;
+    auto skipSpaces = [&] {
+        while (pos < spec.size() &&
+               (spec[pos] == ' ' || spec[pos] == '\t'))
+            ++pos;
+    };
+    auto parseToken = [&](const char *stop_chars) {
+        size_t start = pos;
+        while (pos < spec.size() &&
+               std::string(stop_chars).find(spec[pos]) == std::string::npos)
+            ++pos;
+        std::string token = spec.substr(start, pos - start);
+        // Trim trailing spaces.
+        while (!token.empty() && (token.back() == ' ' ||
+                                  token.back() == '\t'))
+            token.pop_back();
+        return token;
+    };
+
+    skipSpaces();
+    if (pos >= spec.size())
+        return pipeline;
+    while (true) {
+        skipSpaces();
+        std::string name = parseToken(",{");
+        if (name.empty())
+            support::fatal("pipeline spec: empty pass name in '" + spec +
+                           "'");
+        PassOptions options;
+        if (pos < spec.size() && spec[pos] == '{') {
+            ++pos;
+            while (true) {
+                skipSpaces();
+                std::string key = parseToken("=,}");
+                if (pos >= spec.size() || spec[pos] != '=') {
+                    support::fatal("pipeline spec: expected '=' after "
+                                   "option '" + key + "' of pass '" +
+                                   name + "'");
+                }
+                ++pos;
+                std::string value = parseToken(",}");
+                if (key.empty())
+                    support::fatal("pipeline spec: empty option name for "
+                                   "pass '" + name + "'");
+                options[key] = value;
+                if (pos < spec.size() && spec[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                break;
+            }
+            if (pos >= spec.size() || spec[pos] != '}')
+                support::fatal("pipeline spec: unterminated option list "
+                               "for pass '" + name + "'");
+            ++pos;
+        }
+        pipeline.emplace_back(std::move(name), std::move(options));
+        skipSpaces();
+        if (pos >= spec.size())
+            break;
+        if (spec[pos] != ',')
+            support::fatal("pipeline spec: expected ',' at position " +
+                           std::to_string(pos) + " of '" + spec + "'");
+        ++pos;
+    }
+    return pipeline;
+}
+
+// ----- global timing aggregation -----------------------------------------
+
+namespace {
+
+struct GlobalTiming
+{
+    std::mutex mutex;
+    bool enabled = false;
+    std::int64_t pipelineRuns = 0;
+    // Insertion-ordered aggregation per pass name.
+    std::vector<std::string> order;
+    std::map<std::string, PassExecution> byPass;
+    std::map<std::string, std::int64_t> runsByPass;
+};
+
+GlobalTiming &
+globalTiming()
+{
+    static GlobalTiming *timing = new GlobalTiming();
+    return *timing;
+}
+
+void
+recordGlobal(const std::vector<PassExecution> &executions)
+{
+    GlobalTiming &g = globalTiming();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    if (!g.enabled)
+        return;
+    ++g.pipelineRuns;
+    for (const auto &exec : executions) {
+        auto it = g.byPass.find(exec.pass);
+        if (it == g.byPass.end()) {
+            g.order.push_back(exec.pass);
+            it = g.byPass.emplace(exec.pass, PassExecution{exec.pass, 0.0,
+                                                           {}}).first;
+        }
+        it->second.seconds += exec.seconds;
+        for (const auto &[key, value] : exec.statistics)
+            it->second.statistics[key] += value;
+        ++g.runsByPass[exec.pass];
+    }
+}
+
+} // namespace
+
+void
+setGlobalTimingEnabled(bool enabled)
+{
+    GlobalTiming &g = globalTiming();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    g.enabled = enabled;
+}
+
+bool
+globalTimingEnabled()
+{
+    GlobalTiming &g = globalTiming();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    return g.enabled;
+}
+
+void
+resetGlobalTiming()
+{
+    GlobalTiming &g = globalTiming();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    g.pipelineRuns = 0;
+    g.order.clear();
+    g.byPass.clear();
+    g.runsByPass.clear();
+}
+
+std::string
+globalTimingReport()
+{
+    GlobalTiming &g = globalTiming();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    if (g.order.empty())
+        return "";
+    std::ostringstream os;
+    os << "---- pass timing (" << g.pipelineRuns << " pipeline runs) ----\n";
+    char line[160];
+    double total = 0.0;
+    for (const auto &name : g.order) {
+        const PassExecution &exec = g.byPass.at(name);
+        std::int64_t runs = g.runsByPass.at(name);
+        total += exec.seconds;
+        std::snprintf(line, sizeof(line),
+                      "  %-20s %8lld runs  %10.6f s total  %8.3f ms avg\n",
+                      name.c_str(), static_cast<long long>(runs),
+                      exec.seconds,
+                      runs > 0 ? exec.seconds * 1e3 / runs : 0.0);
+        os << line;
+    }
+    std::snprintf(line, sizeof(line), "  %-20s %16s %10.6f s total\n",
+                  "total", "", total);
+    os << line;
+    return os.str();
+}
+
+// ----- PassManager -------------------------------------------------------
+
+void
+PassManager::addPass(std::unique_ptr<Pass> pass)
+{
+    POM_ASSERT(pass != nullptr, "null pass added to PassManager");
+    passes_.push_back(std::move(pass));
+}
+
+void
+PassManager::addPipeline(const std::string &spec)
+{
+    for (auto &[name, options] : parsePipelineSpec(spec))
+        addPass(PassRegistry::instance().create(name, options));
+}
+
+namespace {
+
+void
+dumpState(const PipelineState &state, const std::string &label,
+          std::ostream &os)
+{
+    os << "// ---- " << label << " ----\n";
+    if (state.func)
+        os << state.func->str();
+    else
+        os << "// <no affine IR at this point in the pipeline>\n";
+}
+
+} // namespace
+
+void
+PassManager::run(PipelineState &state)
+{
+    std::ostream &dump_os =
+        options_.dumpStream ? *options_.dumpStream : std::cerr;
+    for (auto &pass : passes_) {
+        if (options_.dumpBeforeEach)
+            dumpState(state, "IR before " + pass->name(), dump_os);
+        pass->clearStatistics();
+        auto start = std::chrono::steady_clock::now();
+        pass->run(state);
+        auto end = std::chrono::steady_clock::now();
+        PassExecution exec;
+        exec.pass = pass->name();
+        exec.seconds =
+            std::chrono::duration<double>(end - start).count();
+        exec.statistics = pass->statistics();
+        executions_.push_back(std::move(exec));
+        if (options_.verifyAfterEach && state.func) {
+            auto errors = ir::verify(*state.func);
+            if (!errors.empty()) {
+                support::fatal("IR verification failed after pass '" +
+                               pass->name() + "': " + errors[0]);
+            }
+        }
+        if (options_.dumpAfterEach)
+            dumpState(state, "IR after " + pass->name(), dump_os);
+    }
+    if (globalTimingEnabled())
+        recordGlobal(executions_);
+}
+
+std::string
+PassManager::timingReport() const
+{
+    std::ostringstream os;
+    os << "---- pass pipeline timing ----\n";
+    char line[160];
+    double total = 0.0;
+    for (const auto &exec : executions_) {
+        total += exec.seconds;
+        std::string stats;
+        for (const auto &[key, value] : exec.statistics) {
+            stats += stats.empty() ? "" : ", ";
+            stats += key;
+            stats += "=";
+            stats += std::to_string(value);
+        }
+        std::snprintf(line, sizeof(line), "  %-20s %10.6f s%s%s%s\n",
+                      exec.pass.c_str(), exec.seconds,
+                      stats.empty() ? "" : "   (",
+                      stats.c_str(), stats.empty() ? "" : ")");
+        os << line;
+    }
+    std::snprintf(line, sizeof(line), "  %-20s %10.6f s\n", "total",
+                  total);
+    os << line;
+    return os.str();
+}
+
+} // namespace pom::pass

@@ -1,6 +1,39 @@
 #include "support/string_util.h"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
 namespace pom::support {
+
+bool
+parseInt64(const std::string &s, std::int64_t &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(s.c_str(), &end, 10);
+    if (errno == ERANGE || end != s.c_str() + s.size())
+        return false;
+    out = static_cast<std::int64_t>(v);
+    return true;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (errno == ERANGE || end != s.c_str() + s.size() ||
+        !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
+}
 
 std::string
 join(const std::vector<std::string> &parts, const std::string &sep)

@@ -6,6 +6,7 @@
 #ifndef POM_SUPPORT_STRING_UTIL_H
 #define POM_SUPPORT_STRING_UTIL_H
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -37,6 +38,19 @@ std::string repeat(const std::string &s, int n);
 
 /** Count the newline-separated, non-empty, non-comment lines of code. */
 int countLoc(const std::string &source);
+
+/**
+ * Parse @p s as a signed 64-bit decimal integer. The whole string must
+ * be consumed and the value must fit; returns false otherwise (unlike
+ * atoll, which silently truncates and returns 0 on garbage).
+ */
+bool parseInt64(const std::string &s, std::int64_t &out);
+
+/**
+ * Parse @p s as a finite double. The whole string must be consumed;
+ * returns false on garbage, trailing characters, overflow, inf/nan.
+ */
+bool parseDouble(const std::string &s, double &out);
 
 } // namespace pom::support
 

@@ -387,46 +387,78 @@ makeResnet18(std::int64_t size)
     return w;
 }
 
+namespace {
+
+/** Stencils derive a time-step count from the spatial size. */
+std::int64_t
+stepsFor(std::int64_t size)
+{
+    return std::max<std::int64_t>(2, size / 16);
+}
+
+struct RegistryEntry
+{
+    const char *name;
+    WorkloadPtr (*make)(std::int64_t size);
+};
+
+const RegistryEntry kRegistry[] = {
+    {"gemm", [](std::int64_t n) { return makeGemm(n); }},
+    {"bicg", [](std::int64_t n) { return makeBicg(n); }},
+    {"gesummv", [](std::int64_t n) { return makeGesummv(n); }},
+    {"2mm", [](std::int64_t n) { return make2mm(n); }},
+    {"3mm", [](std::int64_t n) { return make3mm(n); }},
+    {"atax", [](std::int64_t n) { return makeAtax(n); }},
+    {"mvt", [](std::int64_t n) { return makeMvt(n); }},
+    {"syrk", [](std::int64_t n) { return makeSyrk(n); }},
+    {"conv2d", [](std::int64_t n) { return makeConv2d(n); }},
+    {"jacobi1d",
+     [](std::int64_t n) { return makeJacobi1d(n, stepsFor(n)); }},
+    {"jacobi2d",
+     [](std::int64_t n) { return makeJacobi2d(n, stepsFor(n)); }},
+    {"heat1d",
+     [](std::int64_t n) { return makeHeat1d(n, stepsFor(n)); }},
+    {"seidel",
+     [](std::int64_t n) { return makeSeidel2d(n, stepsFor(n)); }},
+    {"edgedetect", [](std::int64_t n) { return makeEdgeDetect(n); }},
+    {"gaussian", [](std::int64_t n) { return makeGaussian(n); }},
+    {"blur", [](std::int64_t n) { return makeBlur(n); }},
+    {"vgg16", [](std::int64_t n) { return makeVgg16(n); }},
+    {"resnet18", [](std::int64_t n) { return makeResnet18(n); }},
+};
+
+} // namespace
+
 WorkloadPtr
 makeByName(const std::string &name, std::int64_t size)
 {
-    if (name == "gemm")
-        return makeGemm(size);
-    if (name == "bicg")
-        return makeBicg(size);
-    if (name == "gesummv")
-        return makeGesummv(size);
-    if (name == "2mm")
-        return make2mm(size);
-    if (name == "3mm")
-        return make3mm(size);
-    if (name == "atax")
-        return makeAtax(size);
-    if (name == "mvt")
-        return makeMvt(size);
-    if (name == "syrk")
-        return makeSyrk(size);
-    if (name == "conv2d")
-        return makeConv2d(size);
-    if (name == "jacobi1d")
-        return makeJacobi1d(size, std::max<std::int64_t>(2, size / 16));
-    if (name == "jacobi2d")
-        return makeJacobi2d(size, std::max<std::int64_t>(2, size / 16));
-    if (name == "heat1d")
-        return makeHeat1d(size, std::max<std::int64_t>(2, size / 16));
-    if (name == "seidel")
-        return makeSeidel2d(size, std::max<std::int64_t>(2, size / 16));
-    if (name == "edgedetect")
-        return makeEdgeDetect(size);
-    if (name == "gaussian")
-        return makeGaussian(size);
-    if (name == "blur")
-        return makeBlur(size);
-    if (name == "vgg16")
-        return makeVgg16(size);
-    if (name == "resnet18")
-        return makeResnet18(size);
-    support::fatal("unknown workload '" + name + "'");
+    for (const auto &entry : kRegistry) {
+        if (name == entry.name)
+            return entry.make(size);
+    }
+    support::fatal("unknown workload '" + name + "' (see --list)");
+}
+
+const std::vector<std::string> &
+allNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &entry : kRegistry)
+            out.push_back(entry.name);
+        return out;
+    }();
+    return names;
+}
+
+bool
+isKnown(const std::string &name)
+{
+    for (const auto &entry : kRegistry) {
+        if (name == entry.name)
+            return true;
+    }
+    return false;
 }
 
 } // namespace pom::workloads

@@ -130,6 +130,12 @@ WorkloadPtr makeResnet18(std::int64_t size);
  */
 WorkloadPtr makeByName(const std::string &name, std::int64_t size);
 
+/** Every benchmark name makeByName() accepts, in canonical order. */
+const std::vector<std::string> &allNames();
+
+/** True when @p name is a registered benchmark. */
+bool isKnown(const std::string &name);
+
 } // namespace pom::workloads
 
 #endif // POM_WORKLOADS_WORKLOADS_H

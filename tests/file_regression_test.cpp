@@ -1,0 +1,101 @@
+/**
+ * @file
+ * File-based regression harness over the tests/regression cases.
+ *
+ * Each case file starts with a `// pipeline: <spec>` header naming the
+ * pass pipeline to run (empty spec = plain round-trip). The harness
+ * parses the file, runs the pipeline, prints the result, and diffs it
+ * against the checked-in `<case>.expected` file -- the same contract
+ * the pom_opt_regression ctest enforces through the actual pom-opt
+ * binary.
+ *
+ * To regenerate expectations after an intentional printer or pass
+ * change: POM_UPDATE_EXPECTED=1 ./file_regression_test
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ir/parser.h"
+#include "lower/lower.h"
+#include "pass/pass_manager.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace pom;
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** First-line `// pipeline: spec` header, or empty. */
+std::string
+pipelineOf(const std::string &source)
+{
+    const std::string tag = "// pipeline:";
+    if (source.rfind(tag, 0) != 0)
+        return "";
+    size_t eol = source.find('\n');
+    std::string spec = source.substr(tag.size(),
+                                     eol - tag.size());
+    size_t begin = spec.find_first_not_of(" \t");
+    if (begin == std::string::npos)
+        return "";
+    size_t end = spec.find_last_not_of(" \t\r");
+    return spec.substr(begin, end - begin + 1);
+}
+
+TEST(FileRegression, CasesMatchExpectations)
+{
+    fs::path dir(POM_REGRESSION_DIR);
+    ASSERT_TRUE(fs::is_directory(dir)) << dir;
+    bool update = std::getenv("POM_UPDATE_EXPECTED") != nullptr;
+    lower::registerLoweringPasses();
+
+    std::vector<fs::path> cases;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (entry.path().extension() == ".pom-ir")
+            cases.push_back(entry.path());
+    }
+    ASSERT_FALSE(cases.empty()) << "no .pom-ir cases in " << dir;
+
+    for (const auto &path : cases) {
+        SCOPED_TRACE(path.filename().string());
+        std::string source = readFile(path);
+        pass::PipelineState state;
+        state.func = ir::parseIr(source);
+        pass::PassManager pm;
+        std::string spec = pipelineOf(source);
+        if (!spec.empty())
+            pm.addPipeline(spec);
+        pm.run(state);
+        std::string got = state.func ? state.func->str() : "";
+
+        fs::path expected_path = path;
+        expected_path.replace_extension(".expected");
+        if (update) {
+            std::ofstream out(expected_path);
+            out << got;
+            continue;
+        }
+        ASSERT_TRUE(fs::exists(expected_path))
+            << "missing " << expected_path
+            << " (run with POM_UPDATE_EXPECTED=1 to create)";
+        EXPECT_EQ(got, readFile(expected_path));
+    }
+}
+
+} // namespace

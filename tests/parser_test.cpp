@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the textual IR parser: the print -> parse -> print
+ * round-trip over hand-built IR, every built-in workload, and
+ * fuzzer-generated schedules, plus lossless attribute encoding and
+ * parser error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/fuzzer.h"
+#include "ir/builder.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+#include "lower/lower.h"
+#include "support/diagnostics.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace pom;
+using pom::ir::Attribute;
+using pom::ir::Operation;
+
+/** print(parse(print(f))) must equal print(f), and the parse must
+ * reproduce a verifier-clean tree. */
+void
+expectRoundTrip(const Operation &func)
+{
+    std::string printed = func.str();
+    std::unique_ptr<Operation> reparsed;
+    try {
+        reparsed = ir::parseIr(printed);
+    } catch (const support::FatalError &e) {
+        FAIL() << "parse failed: " << e.what() << "\nIR was:\n"
+               << printed;
+    }
+    ASSERT_NE(reparsed, nullptr);
+    EXPECT_EQ(reparsed->str(), printed);
+}
+
+TEST(Parser, AllWorkloadsRoundTrip)
+{
+    for (const auto &name : workloads::allNames()) {
+        SCOPED_TRACE(name);
+        auto w = workloads::makeByName(name, check::defaultFuzzSize(name));
+        auto lowered = lower::lower(w->func());
+        ASSERT_NE(lowered.func, nullptr);
+        EXPECT_TRUE(ir::verify(*lowered.func).empty());
+        expectRoundTrip(*lowered.func);
+    }
+}
+
+TEST(Parser, ParsedWorkloadsVerifyClean)
+{
+    for (const auto &name : workloads::allNames()) {
+        SCOPED_TRACE(name);
+        auto w = workloads::makeByName(name, check::defaultFuzzSize(name));
+        auto lowered = lower::lower(w->func());
+        auto reparsed = ir::parseIr(lowered.func->str());
+        auto errors = ir::verify(*reparsed);
+        for (const auto &e : errors)
+            ADD_FAILURE() << e;
+    }
+}
+
+TEST(Parser, FuzzedSchedulesRoundTrip)
+{
+    const char *names[] = {"gemm", "bicg", "jacobi2d", "blur"};
+    for (const char *name : names) {
+        for (unsigned seed = 1; seed <= 5; ++seed) {
+            SCOPED_TRACE(std::string(name) + " seed " +
+                         std::to_string(seed));
+            std::int64_t size = check::defaultFuzzSize(name);
+            auto gen = workloads::makeByName(name, size);
+            auto ops = check::generateSchedule(*gen, seed);
+            auto w = workloads::makeByName(name, size);
+            ASSERT_TRUE(check::applyScheduleOps(*w, ops));
+            auto lowered = lower::lower(w->func());
+            expectRoundTrip(*lowered.func);
+        }
+    }
+}
+
+TEST(Parser, AttributesAreLossless)
+{
+    auto func = ir::OpBuilder::makeFunc("attrs");
+    auto op = Operation::create("affine.for", {}, {}, {}, 1);
+    op->setAttr("i_small", Attribute(std::int64_t(-3)));
+    op->setAttr("i_big",
+                Attribute(std::int64_t(0x7fffffffffffffffLL)));
+    op->setAttr("f_tenth", Attribute(0.1));
+    op->setAttr("f_tiny", Attribute(4.9406564584124654e-324));
+    op->setAttr("f_huge", Attribute(1.7976931348623157e308));
+    op->setAttr("f_neg", Attribute(-123456.789012345));
+    op->setAttr("f_whole", Attribute(3.0));
+    op->setAttr("s_plain", Attribute("hello world"));
+    op->setAttr("s_escaped", Attribute("say \"hi\" \\ done"));
+    op->setAttr("vec", Attribute(std::vector<std::int64_t>{1, -2, 64}));
+    Operation *raw = func->region(0).push(std::move(op));
+
+    auto reparsed = ir::parseIr(func->str());
+    EXPECT_EQ(reparsed->str(), func->str());
+
+    const Operation &rop = *reparsed->region(0).operations().front();
+    EXPECT_EQ(rop.attr("i_big").asInt(), raw->attr("i_big").asInt());
+    EXPECT_EQ(rop.attr("f_tenth").asFloat(), 0.1);
+    EXPECT_EQ(rop.attr("f_tiny").asFloat(), 4.9406564584124654e-324);
+    EXPECT_EQ(rop.attr("f_huge").asFloat(), 1.7976931348623157e308);
+    EXPECT_EQ(rop.attr("f_neg").asFloat(), -123456.789012345);
+    // Whole-number floats must stay floats, not decay to ints.
+    EXPECT_TRUE(rop.attr("f_whole").is<double>());
+    EXPECT_EQ(rop.attr("f_whole").asFloat(), 3.0);
+    EXPECT_EQ(rop.attr("s_escaped").asString(), "say \"hi\" \\ done");
+    EXPECT_EQ(rop.attr("vec").asIntVector(),
+              (std::vector<std::int64_t>{1, -2, 64}));
+}
+
+TEST(Parser, BoundsWithDivisorsRoundTrip)
+{
+    using pom::poly::Bound;
+    using pom::poly::DimBounds;
+    using pom::poly::LinearExpr;
+    auto func = ir::OpBuilder::makeFunc("divs");
+    ir::OpBuilder builder(&func->region(0));
+    DimBounds bounds;
+    // lower: ceil((i + 3) / 2), upper: min(15, i * 4)  at depth 1.
+    bounds.lower.push_back(Bound{LinearExpr({1, 0}, 3), 2});
+    bounds.upper.push_back(Bound{LinearExpr::constant(2, 15), 1});
+    bounds.upper.push_back(Bound{LinearExpr({4, 0}, 0), 1});
+    // The outer loop providing i0.
+    DimBounds outer;
+    outer.lower.push_back(Bound{LinearExpr::constant(1, 0), 1});
+    outer.upper.push_back(Bound{LinearExpr::constant(1, 7), 1});
+    Operation *fo = builder.createFor(outer, "i", {});
+    builder.setInsertionBlock(&fo->region(0));
+    builder.createFor(bounds, "j", {fo->region(0).argument(0)});
+
+    expectRoundTrip(*func);
+}
+
+TEST(Parser, CollidingResultNamesStayDistinct)
+{
+    // Two loads both default-named "affine.load.r0"; printing must
+    // uniquify them and the parse must keep the uses distinct.
+    auto func = ir::OpBuilder::makeFunc("collide");
+    ir::Value *a = ir::OpBuilder::addFuncArg(
+        *func, ir::Type::memref(ir::ScalarKind::F32, {4}), "A");
+    ir::OpBuilder builder(&func->region(0));
+    pom::poly::DimBounds b;
+    b.lower.push_back(
+        pom::poly::Bound{pom::poly::LinearExpr::constant(1, 0), 1});
+    b.upper.push_back(
+        pom::poly::Bound{pom::poly::LinearExpr::constant(1, 3), 1});
+    Operation *loop = builder.createFor(b, "i", {});
+    ir::Value *iv = loop->region(0).argument(0);
+    builder.setInsertionBlock(&loop->region(0));
+    pom::poly::AffineMap map({"i"}, {pom::poly::LinearExpr::dim(1, 0)});
+    ir::Value *v1 = builder.createLoad(a, map, {iv});
+    ir::Value *v2 = builder.createLoad(a, map, {iv});
+    ir::Value *sum = builder.createBinary("arith.addf", v1, v2);
+    builder.createStore(sum, a, map, {iv});
+
+    expectRoundTrip(*func);
+}
+
+TEST(Parser, ReportsErrorsWithLocation)
+{
+    std::string error;
+    EXPECT_EQ(ir::parseIr("", &error), nullptr);
+    EXPECT_NE(error.find("line"), std::string::npos);
+
+    // Unknown SSA value.
+    EXPECT_EQ(ir::parseIr("func.func {\n  arith.addf %nope, %nope\n}\n",
+                          &error),
+              nullptr);
+    EXPECT_NE(error.find("nope"), std::string::npos);
+
+    // Result/type count mismatch.
+    EXPECT_EQ(
+        ir::parseIr("%a, %b = arith.constant {value = 1.0} : f32\n",
+                    &error),
+        nullptr);
+
+    // Unterminated string attribute.
+    EXPECT_EQ(ir::parseIr("func.func {name = \"oops}\n", &error),
+              nullptr);
+
+    // Garbage after the module.
+    EXPECT_EQ(ir::parseIr("func.func {\n}\ntrailing\n", &error),
+              nullptr);
+
+    // Throwing overload.
+    EXPECT_THROW(ir::parseIr("%"), support::FatalError);
+}
+
+TEST(Parser, RejectsDuplicateDefinitions)
+{
+    std::string error;
+    EXPECT_EQ(ir::parseIr("func.func { (%x: index, %x: index)\n}\n",
+                          &error),
+              nullptr);
+    EXPECT_NE(error.find("redefin"), std::string::npos);
+}
+
+TEST(Parser, CommentsAndWhitespaceAreIgnored)
+{
+    const char *src =
+        "// pipeline: verify\n"
+        "// a comment line\n"
+        "func.func   {  // trailing comment\n"
+        "}\n";
+    auto func = ir::parseIr(src);
+    ASSERT_NE(func, nullptr);
+    EXPECT_EQ(func->opName(), "func.func");
+}
+
+} // namespace

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the pass subsystem: pipeline spec parsing, the registry,
+ * PassManager timing/statistics/verification, the pipeline-based
+ * reimplementation of lower(), and the core IR passes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ir/attribute.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+#include "lower/lower.h"
+#include "pass/pass_manager.h"
+#include "support/diagnostics.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace pom;
+using pass::PassManager;
+using pass::PassManagerOptions;
+using pass::PassOptions;
+using pass::PassRegistry;
+using pass::PipelineState;
+
+TEST(PipelineSpec, ParsesNamesAndOptions)
+{
+    auto p = pass::parsePipelineSpec("a,b{k=v},c{x=1,y=2}");
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p[0].first, "a");
+    EXPECT_TRUE(p[0].second.empty());
+    EXPECT_EQ(p[1].first, "b");
+    EXPECT_EQ(p[1].second.at("k"), "v");
+    EXPECT_EQ(p[2].second.at("x"), "1");
+    EXPECT_EQ(p[2].second.at("y"), "2");
+
+    EXPECT_TRUE(pass::parsePipelineSpec("").empty());
+    EXPECT_TRUE(pass::parsePipelineSpec("  ").empty());
+    auto spaced = pass::parsePipelineSpec(" a , b ");
+    ASSERT_EQ(spaced.size(), 2u);
+    EXPECT_EQ(spaced[0].first, "a");
+    EXPECT_EQ(spaced[1].first, "b");
+}
+
+TEST(PipelineSpec, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(pass::parsePipelineSpec(","), support::FatalError);
+    EXPECT_THROW(pass::parsePipelineSpec("a,,b"), support::FatalError);
+    EXPECT_THROW(pass::parsePipelineSpec("a{k"), support::FatalError);
+    EXPECT_THROW(pass::parsePipelineSpec("a{k=v"), support::FatalError);
+}
+
+TEST(PassRegistry, KnowsCoreAndLoweringPasses)
+{
+    lower::registerLoweringPasses();
+    auto &reg = PassRegistry::instance();
+    for (const char *name :
+         {"verify", "strip-hls", "count-ops", "extract-stmts",
+          "schedule-apply", "annotate-pragmas", "build-ast",
+          "ast-to-affine"}) {
+        EXPECT_TRUE(reg.known(name)) << name;
+    }
+    EXPECT_FALSE(reg.known("no-such-pass"));
+    EXPECT_THROW(reg.create("no-such-pass"), support::FatalError);
+    EXPECT_GE(reg.list().size(), 8u);
+}
+
+TEST(PassManager, PipelineMatchesLower)
+{
+    lower::registerLoweringPasses();
+    auto w = workloads::makeGemm(16);
+    auto direct = lower::lower(w->func());
+
+    PipelineState state;
+    state.dslFunc = &w->func();
+    PassManager pm;
+    pm.addPipeline("extract-stmts,schedule-apply,annotate-pragmas,"
+                   "build-ast,ast-to-affine,verify");
+    pm.run(state);
+    ASSERT_NE(state.func, nullptr);
+    EXPECT_EQ(state.func->str(), direct.func->str());
+}
+
+TEST(PassManager, RecordsTimingAndStatistics)
+{
+    lower::registerLoweringPasses();
+    auto w = workloads::makeBicg(16);
+    PipelineState state;
+    state.dslFunc = &w->func();
+    PassManager pm;
+    pm.addPipeline("extract-stmts,schedule-apply,build-ast,"
+                   "ast-to-affine,count-ops");
+    pm.run(state);
+
+    ASSERT_EQ(pm.executions().size(), 5u);
+    for (const auto &exec : pm.executions())
+        EXPECT_GE(exec.seconds, 0.0) << exec.pass;
+    // extract-stmts counted the two BICG statements.
+    EXPECT_EQ(pm.executions()[0].statistics.at("stmts"), 2);
+    // count-ops saw the function and its loops.
+    const auto &counts = pm.executions()[4].statistics;
+    EXPECT_EQ(counts.at("func.func"), 1);
+    EXPECT_GT(counts.at("affine.for"), 0);
+
+    std::string report = pm.timingReport();
+    EXPECT_NE(report.find("extract-stmts"), std::string::npos);
+    EXPECT_NE(report.find("total"), std::string::npos);
+}
+
+TEST(PassManager, VerifyAfterEachCatchesBrokenIr)
+{
+    // A hostile pass that corrupts the IR in place.
+    class BreakIrPass : public pass::Pass
+    {
+      public:
+        BreakIrPass() : Pass("break-ir") {}
+        void
+        run(PipelineState &state) override
+        {
+            state.func->walk([](ir::Operation &op) {
+                if (op.opName() == "affine.for")
+                    op.setAttr(ir::kAttrPipelineII,
+                               ir::Attribute(std::int64_t(0)));
+            });
+        }
+    };
+
+    auto w = workloads::makeGemm(8);
+    auto lowered = lower::lower(w->func());
+    PipelineState state;
+    state.func = std::move(lowered.func);
+
+    PassManagerOptions options;
+    options.verifyAfterEach = true;
+    PassManager pm(options);
+    pm.addPass(std::make_unique<BreakIrPass>());
+    EXPECT_THROW(pm.run(state), support::FatalError);
+}
+
+TEST(PassManager, StripHlsRemovesPragmas)
+{
+    auto w = workloads::makeGemm(16);
+    w->func().findCompute("s")->pipeline(dsl::Var("j"), 1);
+    auto lowered = lower::lower(w->func());
+    ASSERT_NE(lowered.func->str().find("hls."), std::string::npos);
+
+    PipelineState state;
+    state.func = std::move(lowered.func);
+    PassManager pm;
+    pm.addPipeline("strip-hls,verify");
+    pm.run(state);
+    EXPECT_EQ(state.func->str().find("hls."), std::string::npos);
+    EXPECT_GT(pm.executions()[0].statistics.at("stripped-attrs"), 0);
+}
+
+TEST(PassManager, IrPassesRequireIr)
+{
+    PipelineState state; // no func
+    PassManager pm;
+    pm.addPipeline("verify");
+    EXPECT_THROW(pm.run(state), support::FatalError);
+}
+
+TEST(PassManager, LoweringPassesRequireDslFunction)
+{
+    lower::registerLoweringPasses();
+    PipelineState state;
+    state.func = ir::parseIr("func.func {\n}\n");
+    PassManager pm;
+    pm.addPipeline("extract-stmts");
+    EXPECT_THROW(pm.run(state), support::FatalError);
+}
+
+TEST(PassManager, DumpAfterEachWritesIr)
+{
+    auto w = workloads::makeGemm(8);
+    auto lowered = lower::lower(w->func());
+    PipelineState state;
+    state.func = std::move(lowered.func);
+
+    std::ostringstream dumps;
+    PassManagerOptions options;
+    options.dumpAfterEach = true;
+    options.dumpStream = &dumps;
+    PassManager pm(options);
+    pm.addPipeline("count-ops");
+    pm.run(state);
+    EXPECT_NE(dumps.str().find("IR after count-ops"), std::string::npos);
+    EXPECT_NE(dumps.str().find("func.func"), std::string::npos);
+}
+
+TEST(PassManager, ScheduleApplyOrderingOnlyOption)
+{
+    lower::registerLoweringPasses();
+    auto w = workloads::makeGemm(16);
+    w->func().findCompute("s")->pipeline(dsl::Var("j"), 1);
+
+    PipelineState state;
+    state.dslFunc = &w->func();
+    PassManager pm;
+    pm.addPipeline("extract-stmts,schedule-apply{ordering-only=true},"
+                   "build-ast,ast-to-affine");
+    pm.run(state);
+    // The pipeline directive is hardware-only; ordering-only must skip
+    // it, so the lowered IR carries no pragma annotations.
+    EXPECT_EQ(state.func->str().find("hls."), std::string::npos);
+}
+
+TEST(GlobalTiming, AggregatesAcrossPipelines)
+{
+    pass::resetGlobalTiming();
+    pass::setGlobalTimingEnabled(true);
+    auto w1 = workloads::makeGemm(8);
+    auto w2 = workloads::makeBicg(8);
+    lower::lower(w1->func());
+    lower::lower(w2->func());
+    pass::setGlobalTimingEnabled(false);
+
+    std::string report = pass::globalTimingReport();
+    EXPECT_NE(report.find("2 pipeline runs"), std::string::npos);
+    EXPECT_NE(report.find("extract-stmts"), std::string::npos);
+    EXPECT_NE(report.find("ast-to-affine"), std::string::npos);
+
+    pass::resetGlobalTiming();
+    EXPECT_TRUE(pass::globalTimingReport().empty());
+}
+
+TEST(GlobalTiming, DisabledByDefault)
+{
+    pass::resetGlobalTiming();
+    auto w = workloads::makeGemm(8);
+    lower::lower(w->func());
+    EXPECT_TRUE(pass::globalTimingReport().empty());
+}
+
+} // namespace

@@ -1,0 +1,54 @@
+# Drives the pom-opt binary over tests/regression/*.pom-ir and diffs
+# stdout against the checked-in .expected files. Invoked by ctest as:
+#   cmake -DPOM_OPT=<binary> -DCASE_DIR=<dir> -P run_regression.cmake
+#
+# Each case's first line is `// pipeline: <spec>`; an absent or empty
+# spec runs pom-opt as a plain round-tripper.
+
+if(NOT POM_OPT OR NOT CASE_DIR)
+    message(FATAL_ERROR "usage: cmake -DPOM_OPT=... -DCASE_DIR=... -P run_regression.cmake")
+endif()
+
+file(GLOB cases "${CASE_DIR}/*.pom-ir")
+if(NOT cases)
+    message(FATAL_ERROR "no .pom-ir cases in ${CASE_DIR}")
+endif()
+
+set(failures 0)
+foreach(case IN LISTS cases)
+    get_filename_component(name "${case}" NAME)
+    file(STRINGS "${case}" header LIMIT_COUNT 1)
+    set(pipeline "")
+    if(header MATCHES "^// pipeline:(.*)$")
+        string(STRIP "${CMAKE_MATCH_1}" pipeline)
+    endif()
+
+    execute_process(
+        COMMAND "${POM_OPT}" "${case}" "--pass-pipeline=${pipeline}"
+        OUTPUT_VARIABLE got
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(SEND_ERROR "${name}: pom-opt failed (${rc}): ${err}")
+        math(EXPR failures "${failures} + 1")
+        continue()
+    endif()
+
+    string(REGEX REPLACE "\\.pom-ir$" ".expected" expected_file "${case}")
+    if(NOT EXISTS "${expected_file}")
+        message(SEND_ERROR "${name}: missing ${expected_file}")
+        math(EXPR failures "${failures} + 1")
+        continue()
+    endif()
+    file(READ "${expected_file}" expected)
+    if(NOT got STREQUAL expected)
+        message(SEND_ERROR "${name}: pom-opt output differs from ${expected_file}\n---- got ----\n${got}\n---- expected ----\n${expected}")
+        math(EXPR failures "${failures} + 1")
+    else()
+        message(STATUS "${name}: OK")
+    endif()
+endforeach()
+
+if(failures GREATER 0)
+    message(FATAL_ERROR "${failures} regression case(s) failed")
+endif()

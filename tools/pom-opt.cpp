@@ -1,0 +1,149 @@
+/**
+ * @file
+ * pom-opt — the textual-IR pass driver (the MLIR `mlir-opt` analogue).
+ *
+ * Usage:
+ *   pom-opt [file.pom-ir|-] [--pass-pipeline=SPEC] [-o FILE]
+ *           [--verify-each] [--dump-after] [--timing] [--list-passes]
+ *
+ * Reads a `.pom-ir` module (from a file, or stdin with `-`/no input),
+ * parses it, runs the requested pass pipeline over it, and prints the
+ * resulting IR. With no pipeline the tool just round-trips the input,
+ * which is itself a useful check: the printer guarantees
+ * print(parse(print(f))) == print(f).
+ *
+ * SPEC is a comma-separated pass list with optional per-pass options,
+ * e.g. "verify,strip-hls" or "schedule-apply{ordering-only=true}".
+ * Front-end lowering passes (extract-stmts, ...) are registered too but
+ * need a DSL function, so they reject textual-IR input with a clear
+ * error.
+ *
+ * Examples:
+ *   pom-opt design.pom-ir --pass-pipeline=verify,strip-hls
+ *   pomc gemm --dse --emit | ...                (generate IR elsewhere)
+ *   pom-opt - < design.pom-ir
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "ir/parser.h"
+#include "lower/lower.h"
+#include "pass/pass_manager.h"
+#include "support/diagnostics.h"
+
+using namespace pom;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [file.pom-ir|-] [--pass-pipeline=SPEC] "
+                 "[-o FILE] [--verify-each] [--dump-after] [--timing]\n"
+                 "       %s --list-passes\n",
+                 argv0, argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input_path = "-";
+    bool input_set = false;
+    std::string output_path;
+    std::string pipeline;
+    bool verify_each = false, dump_after = false, want_timing = false;
+    bool list_passes = false;
+
+    for (int a = 1; a < argc; ++a) {
+        std::string arg = argv[a];
+        if (arg == "--list-passes") {
+            list_passes = true;
+        } else if (arg.rfind("--pass-pipeline=", 0) == 0) {
+            pipeline = arg.substr(std::strlen("--pass-pipeline="));
+        } else if (arg == "--pass-pipeline" && a + 1 < argc) {
+            pipeline = argv[++a];
+        } else if (arg == "-o" && a + 1 < argc) {
+            output_path = argv[++a];
+        } else if (arg == "--verify-each") {
+            verify_each = true;
+        } else if (arg == "--dump-after") {
+            dump_after = true;
+        } else if (arg == "--timing") {
+            want_timing = true;
+        } else if (arg == "-" || arg[0] != '-') {
+            if (input_set)
+                return usage(argv[0]);
+            input_path = arg;
+            input_set = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    lower::registerLoweringPasses();
+
+    if (list_passes) {
+        for (const auto &[name, desc] :
+             pass::PassRegistry::instance().list())
+            std::printf("%-18s %s\n", name.c_str(), desc.c_str());
+        return 0;
+    }
+
+    std::string source;
+    if (input_path == "-") {
+        std::ostringstream buffer;
+        buffer << std::cin.rdbuf();
+        source = buffer.str();
+    } else {
+        std::ifstream in(input_path);
+        if (!in) {
+            std::fprintf(stderr, "pom-opt: cannot open '%s'\n",
+                         input_path.c_str());
+            return 1;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        source = buffer.str();
+    }
+
+    try {
+        pass::PipelineState state;
+        state.func = ir::parseIr(source);
+
+        pass::PassManagerOptions options;
+        options.verifyAfterEach = verify_each;
+        options.dumpAfterEach = dump_after;
+        pass::PassManager pm(options);
+        if (!pipeline.empty())
+            pm.addPipeline(pipeline);
+        pm.run(state);
+
+        std::string printed = state.func ? state.func->str() : "";
+        if (output_path.empty()) {
+            std::fputs(printed.c_str(), stdout);
+        } else {
+            std::ofstream out(output_path);
+            if (!out) {
+                std::fprintf(stderr, "pom-opt: cannot write '%s'\n",
+                             output_path.c_str());
+                return 1;
+            }
+            out << printed;
+        }
+        if (want_timing)
+            std::fputs(pm.timingReport().c_str(), stderr);
+        return 0;
+    } catch (const support::FatalError &e) {
+        std::fprintf(stderr, "pom-opt: %s\n", e.what());
+        return 1;
+    }
+}

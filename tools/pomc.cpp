@@ -5,7 +5,7 @@
  * Usage:
  *   pomc <workload> [size] [--dse] [--framework pom|scalehls|polsca|
  *        pluto|none] [--resources FRACTION] [--emit] [--ast] [--dsl]
- *        [--verify] [--fuzz N] [--seed S]
+ *        [--verify] [--fuzz N] [--seed S] [--timing]
  *
  * Compiles one of the built-in benchmark workloads (see `pomc --list`)
  * and prints the synthesis report; optionally the generated HLS C
@@ -19,6 +19,10 @@
  * DSL reproducer; --seed S makes the run reproducible. Both default to
  * an interpreter-friendly size unless one is given explicitly.
  *
+ * --timing aggregates per-pass wall-clock time across every lowering
+ * pipeline the run executes (a DSE sweep runs thousands) and prints one
+ * breakdown at the end.
+ *
  * Examples:
  *   pomc gemm 1024 --dse --emit
  *   pomc bicg 4096 --framework scalehls
@@ -28,6 +32,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -36,18 +41,14 @@
 #include "check/oracle.h"
 #include "driver/compiler.h"
 #include "emit/hls_emitter.h"
+#include "pass/pass_manager.h"
 #include "support/diagnostics.h"
+#include "support/string_util.h"
 #include "workloads/workloads.h"
 
 using namespace pom;
 
 namespace {
-
-const char *kWorkloads[] = {
-    "gemm", "bicg", "gesummv", "2mm", "3mm", "atax", "mvt", "syrk",
-    "conv2d", "jacobi1d", "jacobi2d", "heat1d", "seidel", "edgedetect",
-    "gaussian", "blur", "vgg16", "resnet18",
-};
 
 int
 usage(const char *argv0)
@@ -56,10 +57,35 @@ usage(const char *argv0)
                  "usage: %s <workload> [size] [--dse] "
                  "[--framework pom|scalehls|polsca|pluto|none] "
                  "[--resources FRACTION] [--emit] [--ast] [--dsl] "
-                 "[--verify] [--fuzz N] [--seed S]\n"
+                 "[--verify] [--fuzz N] [--seed S] [--timing]\n"
                  "       %s --list\n",
                  argv0, argv0);
     return 2;
+}
+
+/** Strict flag-argument parsers: reject garbage instead of reading 0. */
+std::int64_t
+intArg(const char *flag, const char *text)
+{
+    std::int64_t v = 0;
+    if (!support::parseInt64(text, v)) {
+        std::fprintf(stderr, "pomc: %s expects an integer, got '%s'\n",
+                     flag, text);
+        std::exit(2);
+    }
+    return v;
+}
+
+double
+doubleArg(const char *flag, const char *text)
+{
+    double v = 0.0;
+    if (!support::parseDouble(text, v)) {
+        std::fprintf(stderr, "pomc: %s expects a number, got '%s'\n",
+                     flag, text);
+        std::exit(2);
+    }
+    return v;
 }
 
 } // namespace
@@ -70,18 +96,25 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage(argv[0]);
     if (std::strcmp(argv[1], "--list") == 0) {
-        for (const char *name : kWorkloads)
-            std::printf("%s\n", name);
+        for (const auto &name : workloads::allNames())
+            std::printf("%s\n", name.c_str());
         return 0;
     }
 
     std::string name = argv[1];
+    if (!workloads::isKnown(name)) {
+        std::fprintf(stderr,
+                     "pomc: unknown workload '%s' (try --list)\n",
+                     name.c_str());
+        return 2;
+    }
+
     std::int64_t size = 1024;
     bool size_set = false;
     std::string framework = "none";
     double fraction = 1.0;
     bool want_emit = false, want_ast = false, want_dsl = false;
-    bool want_verify = false;
+    bool want_verify = false, want_timing = false;
     int fuzz_cases = 0;
     unsigned seed = 1;
 
@@ -92,7 +125,13 @@ main(int argc, char **argv)
         } else if (arg == "--framework" && a + 1 < argc) {
             framework = argv[++a];
         } else if (arg == "--resources" && a + 1 < argc) {
-            fraction = std::atof(argv[++a]);
+            fraction = doubleArg("--resources", argv[++a]);
+            if (fraction <= 0.0 || fraction > 1.0) {
+                std::fprintf(stderr,
+                             "pomc: --resources expects a fraction in "
+                             "(0, 1], got %g\n", fraction);
+                return 2;
+            }
         } else if (arg == "--emit") {
             want_emit = true;
         } else if (arg == "--ast") {
@@ -101,22 +140,40 @@ main(int argc, char **argv)
             want_dsl = true;
         } else if (arg == "--verify") {
             want_verify = true;
+        } else if (arg == "--timing") {
+            want_timing = true;
         } else if (arg == "--fuzz" && a + 1 < argc) {
-            fuzz_cases = std::atoi(argv[++a]);
-            if (fuzz_cases <= 0) {
+            std::int64_t n = intArg("--fuzz", argv[++a]);
+            if (n <= 0 || n > 1000000) {
                 std::fprintf(stderr, "pomc: --fuzz expects a positive "
                                      "case count, got '%s'\n", argv[a]);
                 return 2;
             }
+            fuzz_cases = static_cast<int>(n);
         } else if (arg == "--seed" && a + 1 < argc) {
-            seed = static_cast<unsigned>(std::atoll(argv[++a]));
+            std::int64_t s = intArg("--seed", argv[++a]);
+            if (s < 0 || s > 0xffffffffLL) {
+                std::fprintf(stderr, "pomc: --seed expects a 32-bit "
+                                     "unsigned value, got '%s'\n",
+                             argv[a]);
+                return 2;
+            }
+            seed = static_cast<unsigned>(s);
         } else if (!arg.empty() && arg[0] != '-') {
-            size = std::atoll(arg.c_str());
+            size = intArg("size", arg.c_str());
+            if (size <= 0) {
+                std::fprintf(stderr, "pomc: size must be positive, got "
+                                     "'%s'\n", arg.c_str());
+                return 2;
+            }
             size_set = true;
         } else {
             return usage(argv[0]);
         }
     }
+
+    if (want_timing)
+        pass::setGlobalTimingEnabled(true);
 
     try {
         if (fuzz_cases > 0) {
@@ -127,6 +184,8 @@ main(int argc, char **argv)
                 fopt.size = size;
             check::FuzzResult fres = check::fuzzWorkload(name, fopt);
             std::printf("%s\n", fres.summary().c_str());
+            if (want_timing)
+                std::printf("\n%s", pass::globalTimingReport().c_str());
             return fres.ok() ? 0 : 1;
         }
 
@@ -191,6 +250,8 @@ main(int argc, char **argv)
             std::printf("\n---- HLS C ----\n%s",
                         emit::emitHlsC(*result.design.func).c_str());
         }
+        if (want_timing)
+            std::printf("\n%s", pass::globalTimingReport().c_str());
         return 0;
     } catch (const pom::support::FatalError &e) {
         std::fprintf(stderr, "pomc: %s\n", e.what());
