@@ -1,19 +1,23 @@
 /**
  * @file
  * Shared helpers for the paper-table reproduction harnesses: framework
- * runners, utilization formatting, and schedule-shape extraction
- * (tile/unroll factors and parallelism degree) from lowered designs.
+ * runners, utilization formatting, schedule-shape extraction
+ * (tile/unroll factors and parallelism degree) from lowered designs,
+ * and machine-readable measurement export through the src/obs metrics
+ * API (set POM_BENCH_JSON=out.json to capture a table run).
  */
 
 #ifndef POM_BENCH_BENCH_UTIL_H
 #define POM_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "baselines/baselines.h"
 #include "hls/count.h"
+#include "obs/obs.h"
 #include "workloads/workloads.h"
 
 namespace pom::benchutil {
@@ -106,6 +110,64 @@ iiCell(const hls::SynthesisReport &report)
     if (report.loops.size() > 4)
         out += ", ...";
     return out;
+}
+
+/**
+ * Enable metrics export when the POM_BENCH_JSON environment variable
+ * names an output file. Call once at the top of a harness main();
+ * returns the path to pass to writeBenchMetrics() ("" when disabled,
+ * making both helpers no-ops).
+ */
+inline std::string
+initBenchMetrics()
+{
+    const char *env = std::getenv("POM_BENCH_JSON");
+    std::string path = env != nullptr ? env : "";
+    if (!path.empty())
+        obs::setMetricsEnabled(true);
+    return path;
+}
+
+/**
+ * Record one table row through the obs metrics API as
+ * "bench.<table>.<row>.<field>" gauges, so every number a harness
+ * prints is also available machine-readably. No-op unless metrics are
+ * enabled (see initBenchMetrics()).
+ */
+inline void
+recordMeasurement(const std::string &table, const std::string &row,
+                  const hls::SynthesisReport &report,
+                  double speedup = 0.0, double seconds = 0.0)
+{
+    if (!obs::metricsEnabled())
+        return;
+    std::string prefix = "bench." + table + "." + row + ".";
+    obs::gaugeSet(prefix + "latency_cycles",
+                  static_cast<double>(report.latencyCycles));
+    obs::gaugeSet(prefix + "dsp",
+                  static_cast<double>(report.resources.dsp));
+    obs::gaugeSet(prefix + "ff", static_cast<double>(report.resources.ff));
+    obs::gaugeSet(prefix + "lut",
+                  static_cast<double>(report.resources.lut));
+    obs::gaugeSet(prefix + "bram_bits",
+                  static_cast<double>(report.resources.bramBits));
+    obs::gaugeSet(prefix + "worst_ii",
+                  static_cast<double>(report.worstII()));
+    if (speedup > 0.0)
+        obs::gaugeSet(prefix + "speedup", speedup);
+    if (seconds > 0.0)
+        obs::gaugeSet(prefix + "toolchain_seconds", seconds);
+    obs::counterAdd("bench.measurements");
+}
+
+/** Flush the metrics captured by recordMeasurement() to `path`. */
+inline void
+writeBenchMetrics(const std::string &path)
+{
+    if (path.empty())
+        return;
+    if (!obs::writeFile(path, obs::metricsJson()))
+        std::fprintf(stderr, "bench: cannot write '%s'\n", path.c_str());
 }
 
 } // namespace pom::benchutil

@@ -7,6 +7,7 @@
 
 #include "graph/dependence_graph.h"
 #include "hls/count.h"
+#include "obs/obs.h"
 #include "support/diagnostics.h"
 
 namespace pom::baselines {
@@ -70,6 +71,7 @@ plutoTile(PolyStmt &stmt, std::int64_t tile)
 BaselineResult
 runUnoptimized(dsl::Function &func, const BaselineOptions &options)
 {
+    obs::Span span("driver.runUnoptimized", "driver");
     auto t0 = std::chrono::steady_clock::now();
     BaselineResult result;
     auto stmts = lower::extractStmts(func);
@@ -86,6 +88,7 @@ runUnoptimized(dsl::Function &func, const BaselineOptions &options)
 BaselineResult
 runPlutoLike(dsl::Function &func, const BaselineOptions &options)
 {
+    obs::Span span("driver.runPlutoLike", "driver");
     auto t0 = std::chrono::steady_clock::now();
     auto stmts = lower::extractStmts(func);
     lower::applyDirectives(stmts, /*ordering_only=*/true);
@@ -105,6 +108,7 @@ runPlutoLike(dsl::Function &func, const BaselineOptions &options)
 BaselineResult
 runPolscaLike(dsl::Function &func, const BaselineOptions &options)
 {
+    obs::Span span("driver.runPolscaLike", "driver");
     auto t0 = std::chrono::steady_clock::now();
     auto stmts = lower::extractStmts(func);
     lower::applyDirectives(stmts, /*ordering_only=*/true);
@@ -133,6 +137,7 @@ runPolscaLike(dsl::Function &func, const BaselineOptions &options)
 BaselineResult
 runScaleHlsLike(dsl::Function &func, const BaselineOptions &options)
 {
+    obs::Span span("driver.runScaleHlsLike", "driver");
     auto t0 = std::chrono::steady_clock::now();
     auto stmts = lower::extractStmts(func);
     lower::applyDirectives(stmts, /*ordering_only=*/true);
@@ -293,6 +298,7 @@ runScaleHlsLike(dsl::Function &func, const BaselineOptions &options)
 BaselineResult
 runPom(dsl::Function &func, const BaselineOptions &options)
 {
+    obs::Span span("driver.runPom", "driver");
     dse::DseOptions dopt;
     dopt.device = options.device;
     dopt.resourceFraction = options.resourceFraction;

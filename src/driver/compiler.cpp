@@ -4,6 +4,7 @@
 
 #include "emit/hls_emitter.h"
 #include "ir/verifier.h"
+#include "obs/obs.h"
 #include "support/diagnostics.h"
 #include "support/string_util.h"
 
@@ -12,9 +13,14 @@ namespace pom::driver {
 CompileResult
 compile(dsl::Function &func, const CompileOptions &options)
 {
+    obs::Span span("driver.compile", "driver");
+    span.arg("function", func.name());
+    support::diag(support::DiagLevel::Debug,
+                  "compiling function '" + func.name() + "'");
     CompileResult result;
 
     {
+        obs::Span baseline_span("driver.baseline", "driver");
         auto base = lower::extractStmts(func);
         lower::applyDirectives(base, /*ordering_only=*/true);
         auto plain = lower::lowerStmts(func, std::move(base));
@@ -25,11 +31,13 @@ compile(dsl::Function &func, const CompileOptions &options)
     }
 
     if (options.autoDse || func.autoDSERequested()) {
+        obs::Span dse_span("driver.dse", "driver");
         dse::DseResult dres = dse::autoDSE(func, options.dseOptions);
         result.design = std::move(dres.design);
         result.report = std::move(dres.report);
         result.dseSeconds = dres.dseSeconds;
     } else {
+        obs::Span lower_span("driver.lower", "driver");
         result.design = lower::lower(func);
         hls::EstimatorOptions eo;
         eo.device = options.dseOptions.device;
@@ -37,9 +45,13 @@ compile(dsl::Function &func, const CompileOptions &options)
         result.report = hls::estimate(func, result.design, eo);
     }
 
-    auto errors = ir::verify(*result.design.func);
-    if (!errors.empty()) {
-        support::fatal("generated IR failed verification: " + errors[0]);
+    {
+        obs::Span verify_span("driver.verify-ir", "driver");
+        auto errors = ir::verify(*result.design.func);
+        if (!errors.empty()) {
+            support::fatal("generated IR failed verification: " +
+                           errors[0]);
+        }
     }
     result.hlsCode = emit::emitHlsC(*result.design.func);
     return result;

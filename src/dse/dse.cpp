@@ -9,6 +9,8 @@
 #include "check/oracle.h"
 #include "graph/dependence_graph.h"
 #include "hls/count.h"
+#include "obs/journal.h"
+#include "obs/obs.h"
 #include "support/diagnostics.h"
 
 namespace pom::dse {
@@ -260,29 +262,41 @@ class Engine
     DseResult
     run()
     {
+        obs::Span span("dse.autoDSE", "dse");
         auto t0 = std::chrono::steady_clock::now();
         DseResult result;
 
         // Baseline: the unscheduled program.
         {
+            obs::Span baseline_span("dse.baseline", "dse");
             auto base_stmts = lower::extractStmts(func_);
             lower::applyDirectives(base_stmts, /*ordering_only=*/true);
             auto plain = lower::lowerStmts(func_, std::move(base_stmts));
             result.baseline = hls::estimate(func_, plain, estOptions());
+            recordPoint("baseline", "(unscheduled)", result.baseline,
+                        "info", "unoptimized reference design");
         }
 
         std::vector<PolyStmt> stmts = lower::extractStmts(func_);
         if (opt_.applyUserDirectives)
             lower::applyDirectives(stmts);
 
-        stage1(stmts, result.log);
-        stage2(stmts, result);
+        {
+            obs::Span stage1_span("dse.stage1", "dse");
+            stage1(stmts, result.log);
+        }
+        {
+            obs::Span stage2_span("dse.stage2", "dse");
+            stage2(stmts, result);
+        }
 
         auto t1 = std::chrono::steady_clock::now();
         result.dseSeconds =
             std::chrono::duration<double>(t1 - t0).count();
         result.pointsExplored = points_;
         result.pointsVerified = verified_;
+        result.journal = std::move(journal_);
+        span.arg("points_explored", static_cast<std::int64_t>(points_));
         return result;
     }
 
@@ -294,6 +308,43 @@ class Engine
         eo.device = device_;
         eo.sharing = opt_.sharing;
         return eo;
+    }
+
+    // ----- search journal -----------------------------------------------
+
+    /** Journal one explored design point with its verdict. */
+    void
+    recordPoint(const std::string &phase, const std::string &primitives,
+                const hls::SynthesisReport &report,
+                const std::string &verdict, const std::string &reason)
+    {
+        obs::JournalEntry e;
+        e.kind = "point";
+        e.phase = phase;
+        e.point = points_;
+        e.primitives = primitives;
+        e.latencyCycles = report.latencyCycles;
+        e.dsp = report.resources.dsp;
+        e.bramBits = report.resources.bramBits;
+        e.lut = report.resources.lut;
+        e.ff = report.resources.ff;
+        e.verdict = verdict;
+        e.reason = reason;
+        journal_.push_back(std::move(e));
+    }
+
+    /** Journal a search decision and mirror it into the text log. */
+    void
+    note(const char *kind, const char *phase, const std::string &detail,
+         std::vector<std::string> &log)
+    {
+        log.push_back(detail);
+        support::diag(support::DiagLevel::Debug, detail);
+        obs::JournalEntry e;
+        e.kind = kind;
+        e.phase = phase;
+        e.detail = detail;
+        journal_.push_back(std::move(e));
     }
 
     // ----- Stage 1: dependence-aware code transformation ----------------
@@ -324,8 +375,9 @@ class Engine
                 if (keys.size() < 2)
                     continue;
                 if (anyProducerRelation(stmts, unit.members)) {
-                    log.push_back("stage1: conflicting hints in fused nest "
-                                  "but distribution is illegal; skipping");
+                    note("stage1", "stage1",
+                         "stage1: conflicting hints in fused nest "
+                         "but distribution is illegal; skipping", log);
                     continue;
                 }
                 std::int64_t next_beta = maxBeta(stmts) + 16;
@@ -333,8 +385,9 @@ class Engine
                     stmts[unit.members[m]].sched.betas[0] = next_beta;
                     next_beta += 16;
                 }
-                log.push_back("stage1: split fused nest to resolve "
-                              "conflicting transformation strategies");
+                note("stage1", "stage1",
+                     "stage1: split fused nest to resolve "
+                     "conflicting transformation strategies", log);
                 changed = true;
             }
             if (changed) {
@@ -354,8 +407,9 @@ class Engine
                     if (keys.size() > 1) {
                         // Conflicting hints survive only when the nest
                         // could not be distributed (producer relation).
-                        log.push_back("stage1: conflicting hints in an "
-                                      "undistributable nest; skipping");
+                        note("stage1", "stage1",
+                             "stage1: conflicting hints in an "
+                             "undistributable nest; skipping", log);
                         continue;
                     }
                     // Identical hints: applying the same transform to
@@ -366,9 +420,9 @@ class Engine
                     if (hint.kind != Hint::Kind::None &&
                         hint.fromLevel < shared &&
                         anyProducerRelation(stmts, unit.members)) {
-                        log.push_back("stage1: hint touches a shared loop "
-                                      "of a producer/consumer nest; "
-                                      "skipping");
+                        note("stage1", "stage1",
+                             "stage1: hint touches a shared loop "
+                             "of a producer/consumer nest; skipping", log);
                         continue;
                     }
                 }
@@ -379,8 +433,9 @@ class Engine
                         transform::interchange(
                             stmt, stmt.sched.domain.dimName(h.fromLevel),
                             stmt.sched.domain.dimName(h.toLevel));
-                        log.push_back("stage1: interchange " +
-                                      stmt.sched.name);
+                        note("stage1", "stage1",
+                             "stage1: interchange " + stmt.sched.name,
+                             log);
                         changed = true;
                     } else if (h.kind == Hint::Kind::Skew) {
                         size_t n = stmt.numDims();
@@ -390,7 +445,8 @@ class Engine
                             inner + "_sk" + std::to_string(skew_counter++);
                         transform::skew(stmt, outer, inner, 1, outer,
                                         fresh);
-                        log.push_back("stage1: skew " + stmt.sched.name);
+                        note("stage1", "stage1",
+                             "stage1: skew " + stmt.sched.name, log);
                         changed = true;
                     }
                 }
@@ -442,9 +498,10 @@ class Engine
                 if (!bounds_match)
                     continue;
                 transform::fuseInto(stmts[b], stmts[a]);
-                log.push_back("stage1: conservatively re-fused " +
-                              stmts[a].sched.name + " and " +
-                              stmts[b].sched.name);
+                note("stage1", "stage1",
+                     "stage1: conservatively re-fused " +
+                         stmts[a].sched.name + " and " +
+                         stmts[b].sched.name, log);
             }
         }
     }
@@ -460,6 +517,8 @@ class Engine
 
         // Evaluate the initial (pipeline-only) design.
         Candidate best = makeCandidate(base, units);
+        recordPoint("stage2-init", best.primitives, best.report,
+                    "accepted", "initial pipeline-only design");
         result.log.push_back("stage2: initial design " +
                              best.report.str(device_));
 
@@ -481,12 +540,24 @@ class Engine
                 break; // optimization list is empty
 
             Unit &unit = units[bottleneck];
+            {
+                obs::JournalEntry e;
+                e.kind = "bottleneck";
+                e.phase = "stage2";
+                e.detail = "selected " + unitNames(base, unit) +
+                           " as bottleneck";
+                e.latencyCycles = worst;
+                e.verdict = "info";
+                e.reason = "largest nest latency among open units";
+                journal_.push_back(std::move(e));
+            }
             std::int64_t next = unit.degree * 2;
             if (next > opt_.maxParallelism ||
                 next > maxDegreeOf(base, unit)) {
                 unit.open = false; // exit mechanism: max parallelism
-                result.log.push_back(
-                    "stage2: unit reached max parallelism, removed");
+                note("bottleneck", "stage2",
+                     "stage2: unit reached max parallelism, removed",
+                     result.log);
                 continue;
             }
 
@@ -494,6 +565,8 @@ class Engine
             unit.degree = next;
             Candidate trial = makeCandidate(base, units);
             if (!trial.report.resources.fitsIn(device_)) {
+                recordPoint("stage2", trial.primitives, trial.report,
+                            "rejected", "exceeds resource budget");
                 unit.degree = saved;
                 unit.open = false; // exit mechanism: resource bound
                 result.log.push_back(
@@ -501,6 +574,8 @@ class Engine
                 continue;
             }
             if (trial.report.latencyCycles >= best.report.latencyCycles) {
+                recordPoint("stage2", trial.primitives, trial.report,
+                            "rejected", "no latency improvement");
                 unit.degree = saved;
                 unit.open = false;
                 result.log.push_back(
@@ -508,6 +583,8 @@ class Engine
                 continue;
             }
             best = std::move(trial);
+            recordPoint("stage2", best.primitives, best.report,
+                        "accepted", "latency improved");
             result.log.push_back(
                 "stage2: parallelism " + std::to_string(next) + " -> " +
                 best.report.str(device_));
@@ -515,6 +592,8 @@ class Engine
 
         // Materialize the winning design (also rewrites partitions).
         best = makeCandidate(base, units);
+        recordPoint("final", best.primitives, best.report, "accepted",
+                    "selected design");
         result.design = std::move(best.design);
         result.report = std::move(best.report);
         for (const auto &u : units) {
@@ -529,7 +608,51 @@ class Engine
     {
         lower::LoweredFunction design;
         hls::SynthesisReport report;
+        std::string primitives; ///< journal summary of the schedule
     };
+
+    /** "S0+S1" member list of a unit, for journal messages. */
+    static std::string
+    unitNames(const std::vector<PolyStmt> &base, const Unit &unit)
+    {
+        std::string out;
+        for (size_t m : unit.members) {
+            out += out.empty() ? "" : "+";
+            out += base[m].sched.name;
+        }
+        return out;
+    }
+
+    /** Journal summary of the applied primitives of one candidate. */
+    static std::string
+    primitivesSummary(
+        const std::vector<PolyStmt> &base, const std::vector<Unit> &units,
+        const std::map<std::string, std::vector<std::int64_t>> &partitions)
+    {
+        std::string out;
+        for (const auto &unit : units) {
+            for (size_t m : unit.members) {
+                out += out.empty() ? "" : ", ";
+                out += base[m].sched.name + ":degree=" +
+                       std::to_string(unit.degree);
+            }
+        }
+        for (const auto &[array, factors] : partitions) {
+            bool any = false;
+            for (auto f : factors)
+                any |= f > 1;
+            if (!any)
+                continue;
+            out += "; partition " + array + "=[";
+            for (size_t i = 0; i < factors.size(); ++i) {
+                if (i)
+                    out += ",";
+                out += std::to_string(factors[i]);
+            }
+            out += "]:cyclic";
+        }
+        return out;
+    }
 
     /** Latency attributed to a unit in the last report. */
     static std::uint64_t
@@ -571,6 +694,7 @@ class Engine
     makeCandidate(const std::vector<PolyStmt> &base,
                   const std::vector<Unit> &units)
     {
+        obs::Span span("dse.point", "dse");
         std::vector<PolyStmt> stmts = base;
         std::map<std::string, std::vector<std::int64_t>> partitions;
         for (const auto &unit : units) {
@@ -588,9 +712,14 @@ class Engine
         applyPartitions(func_, partitions);
 
         Candidate c;
+        c.primitives = primitivesSummary(base, units, partitions);
         c.design = lower::lowerStmts(func_, std::move(stmts));
         c.report = hls::estimate(func_, c.design, estOptions());
         ++points_;
+        span.arg("point", static_cast<std::int64_t>(points_));
+        span.arg("primitives", c.primitives);
+        span.arg("latency_cycles",
+                 static_cast<std::int64_t>(c.report.latencyCycles));
         if (opt_.verifyEachPoint) {
             check::OracleOptions oracle;
             oracle.seed = opt_.verifySeed;
@@ -610,6 +739,7 @@ class Engine
     hls::Device device_;
     int points_ = 0;
     int verified_ = 0;
+    std::vector<obs::JournalEntry> journal_;
 };
 
 } // namespace
@@ -618,7 +748,10 @@ DseResult
 autoDSE(dsl::Function &func, const DseOptions &options)
 {
     Engine engine(func, options);
-    return engine.run();
+    DseResult result = engine.run();
+    if (obs::journalEnabled())
+        obs::journal().record(result.journal);
+    return result;
 }
 
 } // namespace pom::dse

@@ -27,6 +27,7 @@
 #include "dsl/dsl.h"
 #include "hls/estimator.h"
 #include "lower/lower.h"
+#include "obs/journal.h"
 
 namespace pom::dse {
 
@@ -92,6 +93,15 @@ struct DseResult
 
     /** Human-readable search log. */
     std::vector<std::string> log;
+
+    /**
+     * Machine-readable search journal: one entry per stage-1 decision,
+     * stage-2 bottleneck selection, and explored design point (with
+     * primitives, estimated latency/resources and the accept/reject
+     * verdict). Always recorded; autoDSE additionally publishes it into
+     * the process-wide obs::journal() when obs::journalEnabled().
+     */
+    std::vector<obs::JournalEntry> journal;
 
     /** latency(baseline) / latency(best). */
     double speedup() const;

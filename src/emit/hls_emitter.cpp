@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/obs.h"
 #include "support/diagnostics.h"
 #include "support/string_util.h"
 
@@ -294,8 +295,18 @@ class Emitter
 std::string
 emitHlsC(const ir::Operation &func)
 {
+    obs::Span span("emit.hls-c", "emit");
     Emitter emitter;
-    return emitter.run(func);
+    std::string code = emitter.run(func);
+    span.arg("chars", static_cast<std::int64_t>(code.size()));
+    if (obs::metricsEnabled()) {
+        obs::counterAdd("emit.functions");
+        std::int64_t lines = 0;
+        for (char c : code)
+            lines += c == '\n';
+        obs::counterAdd("emit.lines", lines);
+    }
+    return code;
 }
 
 } // namespace pom::emit

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "hls/count.h"
+#include "obs/obs.h"
 #include "support/diagnostics.h"
 #include "support/math_util.h"
 
@@ -558,8 +559,33 @@ SynthesisReport
 estimate(const dsl::Function &func, const lower::LoweredFunction &lowered,
          const EstimatorOptions &options)
 {
+    obs::Span span("hls.estimate", "hls");
     Estimator estimator(func, lowered, options);
-    return estimator.run();
+    SynthesisReport report = estimator.run();
+    span.arg("latency_cycles",
+             static_cast<std::int64_t>(report.latencyCycles));
+    span.arg("dsp", static_cast<std::int64_t>(report.resources.dsp));
+    if (obs::metricsEnabled()) {
+        obs::counterAdd("hls.estimates");
+        obs::gaugeSet("hls.latency_cycles",
+                      static_cast<double>(report.latencyCycles));
+        obs::gaugeSet("hls.dsp", report.resources.dsp);
+        obs::gaugeSet("hls.lut", report.resources.lut);
+        obs::gaugeSet("hls.ff", report.resources.ff);
+        obs::gaugeSet("hls.bram_bits",
+                      static_cast<double>(report.resources.bramBits));
+        obs::gaugeSet("hls.power_w", report.powerW);
+        obs::gaugeSet("hls.worst_ii", report.worstII());
+        // Per-node gauges: the latency of every top-level nest and the
+        // achieved II of every pipelined loop of the last estimate.
+        for (const auto &[nest, cycles] : report.nestLatencies) {
+            obs::gaugeSet("hls.nest_latency." + nest,
+                          static_cast<double>(cycles));
+        }
+        for (const auto &loop : report.loops)
+            obs::gaugeSet("hls.loop_ii." + loop.iterName, loop.achievedII);
+    }
+    return report;
 }
 
 } // namespace pom::hls

@@ -1,0 +1,96 @@
+#include "obs/journal.h"
+
+#include <atomic>
+#include <sstream>
+
+#include "obs/obs.h"
+
+namespace pom::obs {
+
+namespace {
+
+std::atomic<bool> g_journal{false};
+
+} // namespace
+
+std::string
+journalJson(const std::vector<JournalEntry> &entries)
+{
+    std::ostringstream os;
+    os << "{\"schema\": \"pom-dse-journal/v1\", \"events\": [";
+    bool first = true;
+    for (const auto &e : entries) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  {\"kind\": \"" << jsonEscape(e.kind)
+           << "\", \"phase\": \"" << jsonEscape(e.phase)
+           << "\", \"point\": " << e.point
+           << ", \"detail\": \"" << jsonEscape(e.detail)
+           << "\", \"primitives\": \"" << jsonEscape(e.primitives)
+           << "\", \"latency_cycles\": " << e.latencyCycles
+           << ", \"dsp\": " << e.dsp
+           << ", \"bram_bits\": " << e.bramBits
+           << ", \"lut\": " << e.lut
+           << ", \"ff\": " << e.ff
+           << ", \"verdict\": \"" << jsonEscape(e.verdict)
+           << "\", \"reason\": \"" << jsonEscape(e.reason) << "\"}";
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+void
+SearchJournal::record(JournalEntry entry)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back(std::move(entry));
+}
+
+void
+SearchJournal::record(const std::vector<JournalEntry> &entries)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.insert(entries_.end(), entries.begin(), entries.end());
+}
+
+std::vector<JournalEntry>
+SearchJournal::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_;
+}
+
+void
+SearchJournal::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+std::string
+SearchJournal::json() const
+{
+    return journalJson(entries());
+}
+
+SearchJournal &
+journal()
+{
+    static SearchJournal *instance = new SearchJournal();
+    return *instance;
+}
+
+void
+setJournalEnabled(bool enabled)
+{
+    g_journal.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+journalEnabled()
+{
+    return g_journal.load(std::memory_order_relaxed);
+}
+
+} // namespace pom::obs

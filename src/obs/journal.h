@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The DSE search journal: a machine-readable record of every decision
+ * the two-stage DSE engine makes. One entry per event:
+ *
+ *  - kind "stage1"     — a dependence-aware transformation decision
+ *                        (interchange/skew/split/re-fuse, or why one
+ *                        was skipped).
+ *  - kind "bottleneck" — a stage-2 bottleneck selection: which unit the
+ *                        engine chose to parallelize next and the
+ *                        latency that made it the bottleneck.
+ *  - kind "point"      — one explored design point: the applied
+ *                        primitives, estimated latency, resource usage
+ *                        (DSP/BRAM/LUT/FF), and the accept/reject
+ *                        verdict with its reason.
+ *
+ * Every entry serializes with the full fixed key set (schema
+ * "pom-dse-journal/v1"), so downstream tooling can load the file
+ * without per-kind special cases; tests pin the schema with a golden
+ * file. Entries contain no wall-clock values — a journal for a given
+ * workload is bit-reproducible.
+ */
+
+#ifndef POM_OBS_JOURNAL_H
+#define POM_OBS_JOURNAL_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pom::obs {
+
+/** One DSE search event. Unused numeric fields stay zero. */
+struct JournalEntry
+{
+    std::string kind;  ///< "stage1" | "bottleneck" | "point"
+    std::string phase; ///< "baseline"|"stage1"|"stage2-init"|"stage2"|"final"
+
+    /** Human-readable decision description (stage1/bottleneck). */
+    std::string detail;
+
+    /** Design-point index (1-based estimation order); -1 otherwise. */
+    int point = -1;
+
+    /** Applied primitives, e.g. "S0:degree=4; partition A=[1,4]:cyclic". */
+    std::string primitives;
+
+    // Estimated performance/resources of a design point.
+    std::uint64_t latencyCycles = 0;
+    std::int64_t dsp = 0;
+    std::int64_t bramBits = 0;
+    std::int64_t lut = 0;
+    std::int64_t ff = 0;
+
+    std::string verdict; ///< "accepted" | "rejected" | "info"
+    std::string reason;  ///< why the verdict was reached
+};
+
+/** Serialize entries as the pom-dse-journal/v1 JSON document. */
+std::string journalJson(const std::vector<JournalEntry> &entries);
+
+/** Thread-safe process-wide journal collector. */
+class SearchJournal
+{
+  public:
+    void record(JournalEntry entry);
+    void record(const std::vector<JournalEntry> &entries);
+    std::vector<JournalEntry> entries() const;
+    void clear();
+
+    /** JSON document for the collected entries. */
+    std::string json() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<JournalEntry> entries_;
+};
+
+/** The process-wide journal (what `pomc --dse-journal` exports). */
+SearchJournal &journal();
+
+/** Gate for publishing DSE runs into the global journal (off by default). */
+void setJournalEnabled(bool enabled);
+bool journalEnabled();
+
+} // namespace pom::obs
+
+#endif // POM_OBS_JOURNAL_H

@@ -1,0 +1,370 @@
+#include "obs/obs.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace pom::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+std::atomic<bool> g_metrics{false};
+
+std::chrono::steady_clock::time_point
+epoch()
+{
+    static const std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+    return t0;
+}
+
+/** Span storage and the thread-id registry, one mutex for both. */
+struct TraceStore
+{
+    std::mutex mutex;
+    std::vector<SpanEvent> events;
+    std::map<std::thread::id, int> threadIds;
+};
+
+TraceStore &
+traceStore()
+{
+    static TraceStore *store = new TraceStore();
+    return *store;
+}
+
+/** Metric storage: insertion-ordered names + name -> value. */
+struct MetricStore
+{
+    std::mutex mutex;
+    std::vector<std::string> order;
+    std::map<std::string, Metric> byName;
+
+    Metric &
+    get(const std::string &name, Metric::Kind kind)
+    {
+        auto it = byName.find(name);
+        if (it == byName.end()) {
+            order.push_back(name);
+            it = byName.emplace(name, Metric{kind, 0, 0.0}).first;
+        }
+        return it->second;
+    }
+};
+
+MetricStore &
+metricStore()
+{
+    static MetricStore *store = new MetricStore();
+    return *store;
+}
+
+int
+threadIdOf(std::thread::id id, TraceStore &store)
+{
+    auto it = store.threadIds.find(id);
+    if (it == store.threadIds.end()) {
+        int next = static_cast<int>(store.threadIds.size());
+        it = store.threadIds.emplace(id, next).first;
+    }
+    return it->second;
+}
+
+thread_local int t_depth = 0;
+
+} // namespace
+
+// ----- enablement --------------------------------------------------------
+
+void
+setTracingEnabled(bool enabled)
+{
+    // Pin the epoch before the first span so timestamps stay positive.
+    epoch();
+    g_tracing.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+tracingEnabled()
+{
+    return g_tracing.load(std::memory_order_relaxed);
+}
+
+void
+setMetricsEnabled(bool enabled)
+{
+    g_metrics.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+metricsEnabled()
+{
+    return g_metrics.load(std::memory_order_relaxed);
+}
+
+std::string
+traceEnvPath()
+{
+    const char *env = std::getenv("POM_TRACE");
+    if (env == nullptr || env[0] == '\0')
+        return "";
+    if (std::string(env) == "1")
+        return "pom-trace.json";
+    return env;
+}
+
+double
+nowMicros()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch())
+        .count();
+}
+
+// ----- spans -------------------------------------------------------------
+
+Span::Span(std::string name, std::string category)
+{
+    active_ = tracingEnabled();
+    if (!active_)
+        return;
+    event_.name = std::move(name);
+    event_.category = std::move(category);
+    event_.depth = t_depth++;
+    event_.startUs = nowMicros();
+}
+
+Span::~Span()
+{
+    if (!active_)
+        return;
+    event_.durationUs = nowMicros() - event_.startUs;
+    --t_depth;
+    TraceStore &store = traceStore();
+    std::lock_guard<std::mutex> lock(store.mutex);
+    event_.threadId = threadIdOf(std::this_thread::get_id(), store);
+    store.events.push_back(std::move(event_));
+}
+
+void
+Span::arg(const std::string &key, const std::string &value)
+{
+    if (active_)
+        event_.args.emplace_back(key, "\"" + jsonEscape(value) + "\"");
+}
+
+void
+Span::arg(const std::string &key, std::int64_t value)
+{
+    if (active_)
+        event_.args.emplace_back(key, std::to_string(value));
+}
+
+void
+Span::arg(const std::string &key, double value)
+{
+    if (!active_)
+        return;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    event_.args.emplace_back(key, buf);
+}
+
+std::vector<SpanEvent>
+traceSnapshot()
+{
+    TraceStore &store = traceStore();
+    std::lock_guard<std::mutex> lock(store.mutex);
+    return store.events;
+}
+
+void
+resetTrace()
+{
+    TraceStore &store = traceStore();
+    std::lock_guard<std::mutex> lock(store.mutex);
+    store.events.clear();
+}
+
+// ----- metrics -----------------------------------------------------------
+
+void
+counterAdd(const std::string &name, std::int64_t delta)
+{
+    MetricStore &store = metricStore();
+    std::lock_guard<std::mutex> lock(store.mutex);
+    Metric &m = store.get(name, Metric::Kind::Counter);
+    m.count += delta;
+    m.value = static_cast<double>(m.count);
+}
+
+void
+accumulate(const std::string &name, double delta)
+{
+    MetricStore &store = metricStore();
+    std::lock_guard<std::mutex> lock(store.mutex);
+    Metric &m = store.get(name, Metric::Kind::Accumulator);
+    ++m.count;
+    m.value += delta;
+}
+
+void
+gaugeSet(const std::string &name, double value)
+{
+    MetricStore &store = metricStore();
+    std::lock_guard<std::mutex> lock(store.mutex);
+    Metric &m = store.get(name, Metric::Kind::Gauge);
+    ++m.count;
+    m.value = value;
+}
+
+std::int64_t
+counterValue(const std::string &name)
+{
+    MetricStore &store = metricStore();
+    std::lock_guard<std::mutex> lock(store.mutex);
+    auto it = store.byName.find(name);
+    return it == store.byName.end() ? 0 : it->second.count;
+}
+
+double
+metricValue(const std::string &name)
+{
+    MetricStore &store = metricStore();
+    std::lock_guard<std::mutex> lock(store.mutex);
+    auto it = store.byName.find(name);
+    return it == store.byName.end() ? 0.0 : it->second.value;
+}
+
+std::vector<std::pair<std::string, Metric>>
+metricsSnapshot()
+{
+    MetricStore &store = metricStore();
+    std::lock_guard<std::mutex> lock(store.mutex);
+    std::vector<std::pair<std::string, Metric>> out;
+    out.reserve(store.order.size());
+    for (const auto &name : store.order)
+        out.emplace_back(name, store.byName.at(name));
+    return out;
+}
+
+void
+resetMetrics()
+{
+    MetricStore &store = metricStore();
+    std::lock_guard<std::mutex> lock(store.mutex);
+    store.order.clear();
+    store.byName.clear();
+}
+
+void
+resetMetricsWithPrefix(const std::string &prefix)
+{
+    MetricStore &store = metricStore();
+    std::lock_guard<std::mutex> lock(store.mutex);
+    std::vector<std::string> kept;
+    for (const auto &name : store.order) {
+        if (name.rfind(prefix, 0) == 0)
+            store.byName.erase(name);
+        else
+            kept.push_back(name);
+    }
+    store.order = std::move(kept);
+}
+
+// ----- export ------------------------------------------------------------
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+chromeTraceJson()
+{
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    char num[64];
+    for (const auto &e : traceSnapshot()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  {\"name\": \"" << jsonEscape(e.name)
+           << "\", \"cat\": \"" << jsonEscape(e.category)
+           << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.threadId;
+        std::snprintf(num, sizeof(num), "%.3f", e.startUs);
+        os << ", \"ts\": " << num;
+        std::snprintf(num, sizeof(num), "%.3f", e.durationUs);
+        os << ", \"dur\": " << num;
+        os << ", \"args\": {\"depth\": " << e.depth;
+        for (const auto &[key, value] : e.args)
+            os << ", \"" << jsonEscape(key) << "\": " << value;
+        os << "}}";
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+std::string
+metricsJson()
+{
+    std::ostringstream os;
+    os << "{\"schema\": \"pom-metrics/v1\", \"metrics\": [";
+    bool first = true;
+    char num[64];
+    for (const auto &[name, m] : metricsSnapshot()) {
+        if (!first)
+            os << ",";
+        first = false;
+        const char *kind = m.kind == Metric::Kind::Counter ? "counter"
+                           : m.kind == Metric::Kind::Accumulator
+                               ? "accumulator"
+                               : "gauge";
+        std::snprintf(num, sizeof(num), "%.9g", m.value);
+        os << "\n  {\"name\": \"" << jsonEscape(name) << "\", \"kind\": \""
+           << kind << "\", \"count\": " << m.count << ", \"value\": " << num
+           << "}";
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << content;
+    return static_cast<bool>(out);
+}
+
+} // namespace pom::obs

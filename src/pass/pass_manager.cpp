@@ -1,13 +1,14 @@
 #include "pass/pass_manager.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <iostream>
-#include <mutex>
 #include <sstream>
+#include <tuple>
 
 #include "ir/verifier.h"
+#include "obs/obs.h"
 #include "support/diagnostics.h"
 
 namespace pom::pass {
@@ -150,46 +151,33 @@ parsePipelineSpec(const std::string &spec)
 }
 
 // ----- global timing aggregation -----------------------------------------
+//
+// Reimplemented on top of the obs metrics registry: every pipeline run
+// contributes counters `pass.runs.<name>` / `pass.stat.<name>.<key>`
+// and the accumulator `pass.seconds.<name>`, all under the registry's
+// mutex, so concurrent PassManagers (a threaded DSE sweep, the test
+// suite) aggregate without data races. First-execution order is the
+// registry's insertion order, which keeps the --timing report layout
+// identical to the historical single-threaded implementation.
 
 namespace {
 
-struct GlobalTiming
-{
-    std::mutex mutex;
-    bool enabled = false;
-    std::int64_t pipelineRuns = 0;
-    // Insertion-ordered aggregation per pass name.
-    std::vector<std::string> order;
-    std::map<std::string, PassExecution> byPass;
-    std::map<std::string, std::int64_t> runsByPass;
-};
+constexpr const char *kPipelineRuns = "pass.pipeline_runs";
+constexpr const char *kRunsPrefix = "pass.runs.";
+constexpr const char *kSecondsPrefix = "pass.seconds.";
+constexpr const char *kStatPrefix = "pass.stat.";
 
-GlobalTiming &
-globalTiming()
-{
-    static GlobalTiming *timing = new GlobalTiming();
-    return *timing;
-}
+std::atomic<bool> g_timing_enabled{false};
 
 void
 recordGlobal(const std::vector<PassExecution> &executions)
 {
-    GlobalTiming &g = globalTiming();
-    std::lock_guard<std::mutex> lock(g.mutex);
-    if (!g.enabled)
-        return;
-    ++g.pipelineRuns;
+    obs::counterAdd(kPipelineRuns);
     for (const auto &exec : executions) {
-        auto it = g.byPass.find(exec.pass);
-        if (it == g.byPass.end()) {
-            g.order.push_back(exec.pass);
-            it = g.byPass.emplace(exec.pass, PassExecution{exec.pass, 0.0,
-                                                           {}}).first;
-        }
-        it->second.seconds += exec.seconds;
+        obs::counterAdd(kRunsPrefix + exec.pass);
+        obs::accumulate(kSecondsPrefix + exec.pass, exec.seconds);
         for (const auto &[key, value] : exec.statistics)
-            it->second.statistics[key] += value;
-        ++g.runsByPass[exec.pass];
+            obs::counterAdd(kStatPrefix + exec.pass + "." + key, value);
     }
 }
 
@@ -198,50 +186,51 @@ recordGlobal(const std::vector<PassExecution> &executions)
 void
 setGlobalTimingEnabled(bool enabled)
 {
-    GlobalTiming &g = globalTiming();
-    std::lock_guard<std::mutex> lock(g.mutex);
-    g.enabled = enabled;
+    g_timing_enabled.store(enabled, std::memory_order_relaxed);
 }
 
 bool
 globalTimingEnabled()
 {
-    GlobalTiming &g = globalTiming();
-    std::lock_guard<std::mutex> lock(g.mutex);
-    return g.enabled;
+    return g_timing_enabled.load(std::memory_order_relaxed);
 }
 
 void
 resetGlobalTiming()
 {
-    GlobalTiming &g = globalTiming();
-    std::lock_guard<std::mutex> lock(g.mutex);
-    g.pipelineRuns = 0;
-    g.order.clear();
-    g.byPass.clear();
-    g.runsByPass.clear();
+    obs::resetMetricsWithPrefix("pass.");
 }
 
 std::string
 globalTimingReport()
 {
-    GlobalTiming &g = globalTiming();
-    std::lock_guard<std::mutex> lock(g.mutex);
-    if (g.order.empty())
+    auto metrics = obs::metricsSnapshot();
+    std::int64_t pipeline_runs = 0;
+    // (name, runs, seconds) in first-execution order.
+    std::vector<std::tuple<std::string, std::int64_t, double>> rows;
+    const size_t seconds_len = std::string(kSecondsPrefix).size();
+    for (const auto &[name, metric] : metrics) {
+        if (name == kPipelineRuns)
+            pipeline_runs = metric.count;
+        else if (name.rfind(kSecondsPrefix, 0) == 0)
+            rows.emplace_back(name.substr(seconds_len), 0, metric.value);
+    }
+    for (auto &[pass, runs, seconds] : rows) {
+        (void)seconds;
+        runs = obs::counterValue(kRunsPrefix + pass);
+    }
+    if (rows.empty())
         return "";
     std::ostringstream os;
-    os << "---- pass timing (" << g.pipelineRuns << " pipeline runs) ----\n";
+    os << "---- pass timing (" << pipeline_runs << " pipeline runs) ----\n";
     char line[160];
     double total = 0.0;
-    for (const auto &name : g.order) {
-        const PassExecution &exec = g.byPass.at(name);
-        std::int64_t runs = g.runsByPass.at(name);
-        total += exec.seconds;
+    for (const auto &[pass, runs, seconds] : rows) {
+        total += seconds;
         std::snprintf(line, sizeof(line),
                       "  %-20s %8lld runs  %10.6f s total  %8.3f ms avg\n",
-                      name.c_str(), static_cast<long long>(runs),
-                      exec.seconds,
-                      runs > 0 ? exec.seconds * 1e3 / runs : 0.0);
+                      pass.c_str(), static_cast<long long>(runs), seconds,
+                      runs > 0 ? seconds * 1e3 / runs : 0.0);
         os << line;
     }
     std::snprintf(line, sizeof(line), "  %-20s %16s %10.6f s total\n",
@@ -284,14 +273,17 @@ dumpState(const PipelineState &state, const std::string &label,
 void
 PassManager::run(PipelineState &state)
 {
-    std::ostream &dump_os =
-        options_.dumpStream ? *options_.dumpStream : std::cerr;
+    std::ostream &dump_os = options_.dumpStream ? *options_.dumpStream
+                                                : support::diagStream();
     for (auto &pass : passes_) {
         if (options_.dumpBeforeEach)
             dumpState(state, "IR before " + pass->name(), dump_os);
         pass->clearStatistics();
         auto start = std::chrono::steady_clock::now();
-        pass->run(state);
+        {
+            obs::Span span("pass:" + pass->name(), "pass");
+            pass->run(state);
+        }
         auto end = std::chrono::steady_clock::now();
         PassExecution exec;
         exec.pass = pass->name();
@@ -309,7 +301,9 @@ PassManager::run(PipelineState &state)
         if (options_.dumpAfterEach)
             dumpState(state, "IR after " + pass->name(), dump_os);
     }
-    if (globalTimingEnabled())
+    // Aggregate when either --timing asked for a report or metrics
+    // export is on (the pass.* counters feed the metrics JSON too).
+    if (globalTimingEnabled() || obs::metricsEnabled())
         recordGlobal(executions_);
 }
 

@@ -10,7 +10,10 @@
  * A process-wide timing aggregator supports `pomc --timing`: every
  * PassManager::run() contributes its executions when aggregation is
  * enabled, so a DSE sweep that lowers thousands of candidate schedules
- * still reports a single per-pass breakdown at the end.
+ * still reports a single per-pass breakdown at the end. The aggregator
+ * is backed by the obs metrics registry (`pass.runs.*`,
+ * `pass.seconds.*`, `pass.stat.*` counters) and is safe to feed from
+ * concurrent PassManagers.
  */
 
 #ifndef POM_PASS_PASS_MANAGER_H
@@ -42,7 +45,7 @@ struct PassManagerOptions
     bool dumpBeforeEach = false;
     bool dumpAfterEach = false;
 
-    /** Destination for dumps; null means std::cerr. */
+    /** Destination for dumps; null means support::diagStream(). */
     std::ostream *dumpStream = nullptr;
 };
 

@@ -1,6 +1,9 @@
 #include "support/diagnostics.h"
 
+#include <atomic>
 #include <cstdio>
+#include <iostream>
+#include <mutex>
 
 namespace pom::support {
 
@@ -18,6 +21,64 @@ assertFailed(const char *cond, const char *file, int line,
                  "%s:%d%s%s\n", cond, file, line,
                  message.empty() ? "" : ": ", message.c_str());
     std::abort();
+}
+
+// ----- leveled diagnostics -----------------------------------------------
+
+namespace {
+
+std::atomic<int> g_diag_level{static_cast<int>(DiagLevel::Info)};
+std::atomic<std::ostream *> g_diag_stream{nullptr};
+std::mutex g_diag_mutex;
+
+const char *
+levelName(DiagLevel level)
+{
+    switch (level) {
+      case DiagLevel::Error: return "error";
+      case DiagLevel::Warning: return "warning";
+      case DiagLevel::Info: return "info";
+      case DiagLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setDiagLevel(DiagLevel level)
+{
+    g_diag_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+DiagLevel
+diagLevel()
+{
+    return static_cast<DiagLevel>(
+        g_diag_level.load(std::memory_order_relaxed));
+}
+
+void
+setDiagStream(std::ostream *os)
+{
+    g_diag_stream.store(os, std::memory_order_relaxed);
+}
+
+std::ostream &
+diagStream()
+{
+    std::ostream *os = g_diag_stream.load(std::memory_order_relaxed);
+    return os != nullptr ? *os : std::cerr;
+}
+
+void
+diag(DiagLevel level, const std::string &message)
+{
+    if (static_cast<int>(level) >
+        g_diag_level.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(g_diag_mutex);
+    diagStream() << "pom " << levelName(level) << ": " << message << "\n";
 }
 
 } // namespace pom::support

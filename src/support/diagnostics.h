@@ -6,12 +6,18 @@
  *  - fatal():  user-caused errors (bad schedule, malformed DSL input).
  *    Throws pom::support::FatalError so callers and tests can observe it.
  *  - POM_ASSERT(): internal invariant violations (compiler bugs). Aborts.
+ *
+ * Plus leveled, redirectable diagnostics: library code never writes to
+ * std::cerr directly — it calls diag() (or writes to diagStream()), and
+ * the tools control the verbosity threshold (`pomc -q` / `-v`) and the
+ * destination (tests capture it into a stringstream).
  */
 
 #ifndef POM_SUPPORT_DIAGNOSTICS_H
 #define POM_SUPPORT_DIAGNOSTICS_H
 
 #include <cstdlib>
+#include <iosfwd>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -39,6 +45,36 @@ class FatalError : public std::runtime_error
 [[noreturn]] void
 assertFailed(const char *cond, const char *file, int line,
              const std::string &message);
+
+// ----- leveled diagnostics ----------------------------------------------
+
+/** Severity/verbosity levels, most severe first. */
+enum class DiagLevel
+{
+    Error = 0,   ///< always shown (unless the sink is redirected)
+    Warning = 1, ///< shown by default
+    Info = 2,    ///< shown by default
+    Debug = 3,   ///< shown only with increased verbosity (-v)
+};
+
+/**
+ * Messages with a level above the threshold are dropped. Default is
+ * Info; `--quiet` lowers it to Error, `-v` raises it to Debug.
+ */
+void setDiagLevel(DiagLevel level);
+DiagLevel diagLevel();
+
+/** Redirect diagnostics; null restores the default (std::cerr). */
+void setDiagStream(std::ostream *os);
+
+/** The active diagnostic stream (std::cerr unless redirected). */
+std::ostream &diagStream();
+
+/**
+ * Emit one diagnostic line ("pom <level>: <message>") to the diagnostic
+ * stream, subject to the verbosity threshold.
+ */
+void diag(DiagLevel level, const std::string &message);
 
 /** Build a message from streamable parts: fmtMsg("x=", x, " y=", y). */
 template <typename... Args>

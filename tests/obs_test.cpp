@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Tests for the observability layer (src/obs): span nesting and
+ * ordering, thread-safe metric aggregation, well-formedness of the
+ * Chrome-trace / metrics JSON exporters, and a golden file pinning the
+ * DSE search-journal schema for GEMM.
+ *
+ * Regenerate the golden journal after an intentional schema change:
+ *   POM_UPDATE_EXPECTED=1 ./obs_test --gtest_filter=ObsJournal.*
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "dse/dse.h"
+#include "obs/journal.h"
+#include "obs/obs.h"
+#include "workloads/workloads.h"
+
+#ifndef POM_GOLDEN_DIR
+#define POM_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+using namespace pom;
+
+/**
+ * Minimal recursive-descent JSON well-formedness checker, so exporter
+ * tests need no external parser. Accepts exactly the JSON grammar
+ * (objects, arrays, strings with escapes, numbers, true/false/null).
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        pos_ = 0;
+        return value() && (skipWs(), pos_ == text_.size());
+    }
+
+  private:
+    bool
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (consume('}'))
+            return true;
+        do {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (!consume(':') || !value())
+                return false;
+            skipWs();
+        } while (consume(','));
+        return consume('}');
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (consume(']'))
+            return true;
+        do {
+            if (!value())
+                return false;
+            skipWs();
+        } while (consume(','));
+        return consume(']');
+    }
+
+    bool
+    string()
+    {
+        if (!consume('"'))
+            return false;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control character
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return false;
+                char e = text_[pos_++];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        if (pos_ >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_++])))
+                            return false;
+                    }
+                } else if (std::string("\"\\/bfnrt").find(e) ==
+                           std::string::npos) {
+                    return false;
+                }
+            }
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        size_t start = pos_;
+        consume('-');
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+bool
+jsonValid(const std::string &text)
+{
+    return JsonChecker(text).valid();
+}
+
+/** RAII guard that leaves the obs gates and stores clean. */
+struct ObsSandbox
+{
+    ObsSandbox()
+    {
+        obs::setTracingEnabled(false);
+        obs::setMetricsEnabled(false);
+        obs::resetTrace();
+        obs::resetMetrics();
+    }
+    ~ObsSandbox()
+    {
+        obs::setTracingEnabled(false);
+        obs::setMetricsEnabled(false);
+        obs::resetTrace();
+        obs::resetMetrics();
+    }
+};
+
+TEST(ObsSpan, DisabledByDefaultRecordsNothing)
+{
+    ObsSandbox sandbox;
+    {
+        obs::Span span("should-not-appear", "test");
+        span.arg("k", std::int64_t(1));
+    }
+    EXPECT_TRUE(obs::traceSnapshot().empty());
+}
+
+TEST(ObsSpan, NestingAndOrdering)
+{
+    ObsSandbox sandbox;
+    obs::setTracingEnabled(true);
+    {
+        obs::Span outer("outer", "test");
+        {
+            obs::Span inner("inner", "test");
+            obs::Span sibling("sibling", "test");
+        }
+    }
+    obs::setTracingEnabled(false);
+
+    auto events = obs::traceSnapshot();
+    ASSERT_EQ(events.size(), 3u);
+    // Spans complete innermost-first.
+    EXPECT_EQ(events[0].name, "sibling");
+    EXPECT_EQ(events[1].name, "inner");
+    EXPECT_EQ(events[2].name, "outer");
+    EXPECT_EQ(events[2].depth, 0);
+    EXPECT_EQ(events[1].depth, 1);
+    EXPECT_EQ(events[0].depth, 2);
+    // All on the same thread, and each child starts no earlier and
+    // ends no later than its parent.
+    for (const auto &e : events) {
+        EXPECT_EQ(e.threadId, events[0].threadId);
+        EXPECT_GE(e.durationUs, 0.0);
+    }
+    EXPECT_GE(events[1].startUs, events[2].startUs);
+    EXPECT_LE(events[1].startUs + events[1].durationUs,
+              events[2].startUs + events[2].durationUs + 1e-6);
+}
+
+TEST(ObsSpan, ArgsAreRecorded)
+{
+    ObsSandbox sandbox;
+    obs::setTracingEnabled(true);
+    {
+        obs::Span span("argful", "test");
+        span.arg("text", std::string("hello"));
+        span.arg("count", std::int64_t(42));
+        span.arg("ratio", 0.5);
+    }
+    obs::setTracingEnabled(false);
+
+    auto events = obs::traceSnapshot();
+    ASSERT_EQ(events.size(), 1u);
+    ASSERT_EQ(events[0].args.size(), 3u);
+    EXPECT_EQ(events[0].args[0].first, "text");
+    EXPECT_EQ(events[0].args[0].second, "\"hello\"");
+    EXPECT_EQ(events[0].args[1].second, "42");
+}
+
+TEST(ObsMetrics, CounterAggregationAcrossThreads)
+{
+    ObsSandbox sandbox;
+    obs::setMetricsEnabled(true);
+    constexpr int kThreads = 8;
+    constexpr int kIters = 5000;
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([] {
+            for (int i = 0; i < kIters; ++i) {
+                obs::counterAdd("test.counter");
+                obs::accumulate("test.acc", 0.5);
+                obs::gaugeSet("test.gauge", 7.0);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    EXPECT_EQ(obs::counterValue("test.counter"), kThreads * kIters);
+    EXPECT_DOUBLE_EQ(obs::metricValue("test.acc"),
+                     0.5 * kThreads * kIters);
+    EXPECT_DOUBLE_EQ(obs::metricValue("test.gauge"), 7.0);
+    // Missing metrics read as zero rather than spring into existence.
+    EXPECT_EQ(obs::counterValue("test.missing"), 0);
+    EXPECT_DOUBLE_EQ(obs::metricValue("test.missing"), 0.0);
+}
+
+TEST(ObsMetrics, SnapshotPreservesInsertionOrderAndPrefixReset)
+{
+    ObsSandbox sandbox;
+    obs::counterAdd("z.first");
+    obs::gaugeSet("a.second", 1.0);
+    obs::accumulate("z.third", 2.0);
+
+    auto snap = obs::metricsSnapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].first, "z.first");
+    EXPECT_EQ(snap[1].first, "a.second");
+    EXPECT_EQ(snap[2].first, "z.third");
+
+    obs::resetMetricsWithPrefix("z.");
+    snap = obs::metricsSnapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].first, "a.second");
+}
+
+TEST(ObsExport, ChromeTraceJsonIsWellFormed)
+{
+    ObsSandbox sandbox;
+    obs::setTracingEnabled(true);
+    {
+        // Hostile names exercise the string escaper.
+        obs::Span span("quote\" slash\\ newline\n tab\t", "cat\"egory");
+        span.arg("key\"", std::string("va\\lue\x01"));
+        obs::Span inner("inner", "test");
+    }
+    obs::setTracingEnabled(false);
+
+    std::string json = obs::chromeTraceJson();
+    EXPECT_TRUE(jsonValid(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(ObsExport, MetricsJsonIsWellFormed)
+{
+    ObsSandbox sandbox;
+    obs::counterAdd("runs\"quoted", 3);
+    obs::accumulate("seconds", 0.125);
+    obs::gaugeSet("gauge", -2.5e-3);
+
+    std::string json = obs::metricsJson();
+    EXPECT_TRUE(jsonValid(json)) << json;
+    EXPECT_NE(json.find("\"pom-metrics/v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"accumulator\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauge\""), std::string::npos);
+    // Empty registry still exports a valid document.
+    obs::resetMetrics();
+    EXPECT_TRUE(jsonValid(obs::metricsJson()));
+    EXPECT_TRUE(jsonValid(obs::chromeTraceJson()));
+}
+
+TEST(ObsJournal, GlobalJournalIsGatedAndThreadSafe)
+{
+    obs::journal().clear();
+    obs::setJournalEnabled(false);
+
+    // autoDSE always records into the result, but only publishes to the
+    // process-wide journal when the gate is open.
+    auto w = workloads::makeGemm(32);
+    dse::DseResult res = dse::autoDSE(w->func(), dse::DseOptions());
+    EXPECT_FALSE(res.journal.empty());
+    EXPECT_TRUE(obs::journal().entries().empty());
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+        writers.emplace_back([t] {
+            for (int i = 0; i < 500; ++i) {
+                obs::JournalEntry e;
+                e.kind = "point";
+                e.phase = "stage2";
+                e.point = t * 1000 + i;
+                obs::journal().record(e);
+            }
+        });
+    }
+    for (auto &t : writers)
+        t.join();
+    EXPECT_EQ(obs::journal().entries().size(), 2000u);
+    EXPECT_TRUE(jsonValid(obs::journal().json()));
+    obs::journal().clear();
+    EXPECT_TRUE(obs::journal().entries().empty());
+}
+
+TEST(ObsJournal, GemmJournalMatchesGolden)
+{
+    // The journal deliberately has no wall-clock fields and the
+    // estimator is deterministic integer arithmetic, so the GEMM
+    // journal is bit-reproducible and pins the v1 schema exactly.
+    auto w = workloads::makeGemm(256);
+    dse::DseResult res = dse::autoDSE(w->func(), dse::DseOptions());
+    std::string json = obs::journalJson(res.journal);
+    ASSERT_TRUE(jsonValid(json));
+
+    const std::string path =
+        std::string(POM_GOLDEN_DIR) + "/gemm_dse_journal.json";
+    if (std::getenv("POM_UPDATE_EXPECTED") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << json;
+        GTEST_SKIP() << "updated " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (regenerate with POM_UPDATE_EXPECTED=1)";
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(json, buffer.str())
+        << "DSE journal for GEMM changed. If the schema or search "
+           "behaviour changed intentionally, regenerate with "
+           "POM_UPDATE_EXPECTED=1.";
+}
+
+} // namespace

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "ir/attribute.h"
 #include "ir/parser.h"
@@ -226,6 +228,39 @@ TEST(GlobalTiming, AggregatesAcrossPipelines)
 
     pass::resetGlobalTiming();
     EXPECT_TRUE(pass::globalTimingReport().empty());
+}
+
+TEST(GlobalTiming, ThreadSafeAggregation)
+{
+    // Regression test: the aggregator must tolerate many pipelines
+    // finishing concurrently (a parallel DSE sweep). Run under
+    // -fsanitize=thread in CI; the counts must also come out exact.
+    pass::resetGlobalTiming();
+    pass::setGlobalTimingEnabled(true);
+
+    constexpr int kThreads = 8;
+    constexpr int kRunsPerThread = 4;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([] {
+            for (int i = 0; i < kRunsPerThread; ++i) {
+                auto w = workloads::makeGemm(8);
+                lower::lower(w->func());
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    pass::setGlobalTimingEnabled(false);
+
+    std::string report = pass::globalTimingReport();
+    std::ostringstream expected;
+    expected << "(" << kThreads * kRunsPerThread << " pipeline runs)";
+    EXPECT_NE(report.find(expected.str()), std::string::npos) << report;
+    std::ostringstream runs;
+    runs << kThreads * kRunsPerThread << " runs";
+    EXPECT_NE(report.find(runs.str()), std::string::npos) << report;
+    pass::resetGlobalTiming();
 }
 
 TEST(GlobalTiming, DisabledByDefault)

@@ -5,6 +5,8 @@
  * Usage:
  *   pom-opt [file.pom-ir|-] [--pass-pipeline=SPEC] [-o FILE]
  *           [--verify-each] [--dump-after] [--timing] [--list-passes]
+ *           [--trace-out FILE] [--metrics-out FILE] [--quiet|-q]
+ *           [--verbose|-v]
  *
  * Reads a `.pom-ir` module (from a file, or stdin with `-`/no input),
  * parses it, runs the requested pass pipeline over it, and prints the
@@ -18,10 +20,15 @@
  * need a DSL function, so they reject textual-IR input with a clear
  * error.
  *
+ * --trace-out / --metrics-out (or the POM_TRACE environment variable)
+ * write the per-pass Chrome trace and the flat metrics JSON from the
+ * src/obs layer; -q/--quiet and -v/--verbose set the diagnostic level.
+ *
  * Examples:
  *   pom-opt design.pom-ir --pass-pipeline=verify,strip-hls
  *   pomc gemm --dse --emit | ...                (generate IR elsewhere)
  *   pom-opt - < design.pom-ir
+ *   pom-opt design.pom-ir --pass-pipeline=verify --trace-out t.json
  */
 
 #include <cstdio>
@@ -33,6 +40,7 @@
 
 #include "ir/parser.h"
 #include "lower/lower.h"
+#include "obs/obs.h"
 #include "pass/pass_manager.h"
 #include "support/diagnostics.h"
 
@@ -45,7 +53,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [file.pom-ir|-] [--pass-pipeline=SPEC] "
-                 "[-o FILE] [--verify-each] [--dump-after] [--timing]\n"
+                 "[-o FILE] [--verify-each] [--dump-after] [--timing] "
+                 "[--trace-out FILE] [--metrics-out FILE] "
+                 "[--quiet|-q] [--verbose|-v]\n"
                  "       %s --list-passes\n",
                  argv0, argv0);
     return 2;
@@ -62,11 +72,21 @@ main(int argc, char **argv)
     std::string pipeline;
     bool verify_each = false, dump_after = false, want_timing = false;
     bool list_passes = false;
+    std::string trace_out = obs::traceEnvPath();
+    std::string metrics_out;
 
     for (int a = 1; a < argc; ++a) {
         std::string arg = argv[a];
         if (arg == "--list-passes") {
             list_passes = true;
+        } else if (arg == "--trace-out" && a + 1 < argc) {
+            trace_out = argv[++a];
+        } else if (arg == "--metrics-out" && a + 1 < argc) {
+            metrics_out = argv[++a];
+        } else if (arg == "--quiet" || arg == "-q") {
+            support::setDiagLevel(support::DiagLevel::Error);
+        } else if (arg == "--verbose" || arg == "-v") {
+            support::setDiagLevel(support::DiagLevel::Debug);
         } else if (arg.rfind("--pass-pipeline=", 0) == 0) {
             pipeline = arg.substr(std::strlen("--pass-pipeline="));
         } else if (arg == "--pass-pipeline" && a + 1 < argc) {
@@ -88,6 +108,32 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
     }
+
+    if (!trace_out.empty())
+        obs::setTracingEnabled(true);
+    if (!metrics_out.empty())
+        obs::setMetricsEnabled(true);
+
+    // Writes the requested observability files on every exit path once
+    // all spans have closed.
+    struct ObsFlusher
+    {
+        std::string trace, metrics;
+
+        ~ObsFlusher()
+        {
+            if (!trace.empty() &&
+                !obs::writeFile(trace, obs::chromeTraceJson())) {
+                std::fprintf(stderr, "pom-opt: cannot write '%s'\n",
+                             trace.c_str());
+            }
+            if (!metrics.empty() &&
+                !obs::writeFile(metrics, obs::metricsJson())) {
+                std::fprintf(stderr, "pom-opt: cannot write '%s'\n",
+                             metrics.c_str());
+            }
+        }
+    } flusher{trace_out, metrics_out};
 
     lower::registerLoweringPasses();
 

@@ -6,6 +6,8 @@
  *   pomc <workload> [size] [--dse] [--framework pom|scalehls|polsca|
  *        pluto|none] [--resources FRACTION] [--emit] [--ast] [--dsl]
  *        [--verify] [--fuzz N] [--seed S] [--timing]
+ *        [--trace-out FILE] [--metrics-out FILE] [--dse-journal FILE]
+ *        [--quiet|-q] [--verbose|-v]
  *
  * Compiles one of the built-in benchmark workloads (see `pomc --list`)
  * and prints the synthesis report; optionally the generated HLS C
@@ -23,17 +25,33 @@
  * pipeline the run executes (a DSE sweep runs thousands) and prints one
  * breakdown at the end.
  *
+ * Observability (src/obs):
+ *   --trace-out FILE    write a Chrome trace-event JSON of the whole
+ *                       run (driver -> passes -> DSE stages -> HLS
+ *                       estimator), loadable in chrome://tracing or
+ *                       https://ui.perfetto.dev. Setting the POM_TRACE
+ *                       environment variable to a path (or "1" for
+ *                       pom-trace.json) does the same.
+ *   --metrics-out FILE  write the flat metrics JSON report (pass
+ *                       counters, estimator gauges, emitter stats).
+ *   --dse-journal FILE  write the machine-readable DSE search journal:
+ *                       one event per explored design point with the
+ *                       applied primitives, estimated latency, resource
+ *                       usage and accept/reject verdict, plus stage-1
+ *                       decisions and stage-2 bottleneck selections.
+ *   -q / --quiet        errors only; -v / --verbose: debug diagnostics.
+ *
  * Examples:
  *   pomc gemm 1024 --dse --emit
  *   pomc bicg 4096 --framework scalehls
  *   pomc seidel 256 --dse --ast
  *   pomc gemm --dse --verify
  *   pomc jacobi2d --fuzz 25 --seed 1
+ *   pomc gemm 256 --dse --trace-out t.json --dse-journal j.json
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "baselines/baselines.h"
@@ -41,6 +59,8 @@
 #include "check/oracle.h"
 #include "driver/compiler.h"
 #include "emit/hls_emitter.h"
+#include "obs/journal.h"
+#include "obs/obs.h"
 #include "pass/pass_manager.h"
 #include "support/diagnostics.h"
 #include "support/string_util.h"
@@ -57,7 +77,9 @@ usage(const char *argv0)
                  "usage: %s <workload> [size] [--dse] "
                  "[--framework pom|scalehls|polsca|pluto|none] "
                  "[--resources FRACTION] [--emit] [--ast] [--dsl] "
-                 "[--verify] [--fuzz N] [--seed S] [--timing]\n"
+                 "[--verify] [--fuzz N] [--seed S] [--timing] "
+                 "[--trace-out FILE] [--metrics-out FILE] "
+                 "[--dse-journal FILE] [--quiet|-q] [--verbose|-v]\n"
                  "       %s --list\n",
                  argv0, argv0);
     return 2;
@@ -95,20 +117,8 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         return usage(argv[0]);
-    if (std::strcmp(argv[1], "--list") == 0) {
-        for (const auto &name : workloads::allNames())
-            std::printf("%s\n", name.c_str());
-        return 0;
-    }
 
-    std::string name = argv[1];
-    if (!workloads::isKnown(name)) {
-        std::fprintf(stderr,
-                     "pomc: unknown workload '%s' (try --list)\n",
-                     name.c_str());
-        return 2;
-    }
-
+    std::string name;
     std::int64_t size = 1024;
     bool size_set = false;
     std::string framework = "none";
@@ -117,10 +127,26 @@ main(int argc, char **argv)
     bool want_verify = false, want_timing = false;
     int fuzz_cases = 0;
     unsigned seed = 1;
+    std::string trace_out = obs::traceEnvPath();
+    std::string metrics_out, journal_out;
 
-    for (int a = 2; a < argc; ++a) {
+    for (int a = 1; a < argc; ++a) {
         std::string arg = argv[a];
-        if (arg == "--dse") {
+        if (arg == "--list") {
+            for (const auto &w : workloads::allNames())
+                std::printf("%s\n", w.c_str());
+            return 0;
+        } else if (arg == "--trace-out" && a + 1 < argc) {
+            trace_out = argv[++a];
+        } else if (arg == "--metrics-out" && a + 1 < argc) {
+            metrics_out = argv[++a];
+        } else if (arg == "--dse-journal" && a + 1 < argc) {
+            journal_out = argv[++a];
+        } else if (arg == "--quiet" || arg == "-q") {
+            support::setDiagLevel(support::DiagLevel::Error);
+        } else if (arg == "--verbose" || arg == "-v") {
+            support::setDiagLevel(support::DiagLevel::Debug);
+        } else if (arg == "--dse") {
             framework = "pom";
         } else if (arg == "--framework" && a + 1 < argc) {
             framework = argv[++a];
@@ -160,6 +186,11 @@ main(int argc, char **argv)
             }
             seed = static_cast<unsigned>(s);
         } else if (!arg.empty() && arg[0] != '-') {
+            // First positional token is the workload, second the size.
+            if (name.empty()) {
+                name = arg;
+                continue;
+            }
             size = intArg("size", arg.c_str());
             if (size <= 0) {
                 std::fprintf(stderr, "pomc: size must be positive, got "
@@ -172,10 +203,52 @@ main(int argc, char **argv)
         }
     }
 
+    if (name.empty())
+        return usage(argv[0]);
+    if (!workloads::isKnown(name)) {
+        std::fprintf(stderr,
+                     "pomc: unknown workload '%s' (try --list)\n",
+                     name.c_str());
+        return 2;
+    }
+
     if (want_timing)
         pass::setGlobalTimingEnabled(true);
+    if (!trace_out.empty())
+        obs::setTracingEnabled(true);
+    if (!metrics_out.empty())
+        obs::setMetricsEnabled(true);
+    if (!journal_out.empty())
+        obs::setJournalEnabled(true);
+
+    // Writes the requested observability files on every exit path
+    // (including FatalError) once all spans have closed.
+    struct ObsFlusher
+    {
+        std::string trace, metrics, journal;
+
+        ~ObsFlusher()
+        {
+            if (!trace.empty() &&
+                !obs::writeFile(trace, obs::chromeTraceJson())) {
+                std::fprintf(stderr, "pomc: cannot write '%s'\n",
+                             trace.c_str());
+            }
+            if (!metrics.empty() &&
+                !obs::writeFile(metrics, obs::metricsJson())) {
+                std::fprintf(stderr, "pomc: cannot write '%s'\n",
+                             metrics.c_str());
+            }
+            if (!journal.empty() &&
+                !obs::writeFile(journal, obs::journal().json())) {
+                std::fprintf(stderr, "pomc: cannot write '%s'\n",
+                             journal.c_str());
+            }
+        }
+    } flusher{trace_out, metrics_out, journal_out};
 
     try {
+        obs::Span root_span("pomc:" + name, "tool");
         if (fuzz_cases > 0) {
             check::FuzzOptions fopt;
             fopt.seed = seed;
