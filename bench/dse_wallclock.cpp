@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Wall-clock benchmark for the parallel, memoized DSE (ISSUE 4
+ * acceptance harness). Three measurements:
+ *
+ *   1. Workload-level fan-out: the full non-DNN sweep run sequentially
+ *      vs. fanned out across a support::ThreadPool (one autoDSE task
+ *      per workload, each pinned to jobs=1 so the pool is the only
+ *      source of parallelism).
+ *   2. Intra-search speculation: one DNN search (vgg16) at jobs=1 vs.
+ *      jobs=4, cold cache each time, to price the speculative stage-2
+ *      batches on real hardware.
+ *   3. Memoization: the same sweep re-run against a warm
+ *      hls::EstimatorCache, plus the cache hit rate.
+ *
+ * Set POM_BENCH_JSON=BENCH_dse.json to capture every printed number as
+ * "bench.dse.*" gauges (see bench_util.h). Speedups depend on the host:
+ * on a single-core container the pool adds little and speculation can
+ * even lose slightly (wasted trials), while the warm-cache run shows
+ * the memoization ceiling; CI publishes the JSON so the numbers are
+ * tracked per machine class.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "dse/dse.h"
+#include "hls/estimator_cache.h"
+#include "support/thread_pool.h"
+
+using namespace pom;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/** The sweep: every non-DNN workload at size 128. */
+const std::vector<std::string> &
+sweepNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &n : workloads::allNames())
+            if (n != "vgg16" && n != "resnet18")
+                out.push_back(n);
+        return out;
+    }();
+    return names;
+}
+
+std::uint64_t
+runOne(const std::string &name)
+{
+    auto w = workloads::makeByName(name, 128);
+    dse::DseOptions opt;
+    opt.jobs = 1; // the pool below is the only parallelism
+    return dse::autoDSE(w->func(), opt).report.latencyCycles;
+}
+
+double
+seconds(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Sweep wall-clock; checksum guards against dead-code elimination. */
+double
+runSweep(int pool_threads, std::uint64_t &checksum)
+{
+    checksum = 0;
+    Clock::time_point t0 = Clock::now();
+    if (pool_threads <= 1) {
+        for (const auto &name : sweepNames())
+            checksum += runOne(name);
+        return seconds(t0);
+    }
+    support::ThreadPool pool(pool_threads);
+    std::vector<std::future<std::uint64_t>> futures;
+    for (const auto &name : sweepNames())
+        futures.push_back(pool.submit([&name]() { return runOne(name); }));
+    for (auto &f : futures)
+        checksum += f.get();
+    return seconds(t0);
+}
+
+double
+runDnn(int jobs)
+{
+    auto w = workloads::makeByName("vgg16", 64);
+    dse::DseOptions opt;
+    opt.jobs = jobs;
+    // Bounded depth keeps the benchmark under a minute; the speculation
+    // cost/benefit ratio is the same at any depth.
+    opt.maxParallelism = 4;
+    Clock::time_point t0 = Clock::now();
+    dse::autoDSE(w->func(), opt);
+    return seconds(t0);
+}
+
+void
+gauge(const std::string &name, double value)
+{
+    if (obs::metricsEnabled())
+        obs::gaugeSet("bench.dse." + name, value);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::string json = benchutil::initBenchMetrics();
+    hls::EstimatorCache &cache = hls::EstimatorCache::global();
+    const int threads = 4;
+    std::printf("DSE wall-clock benchmark (%zu workloads, pool=%d, "
+                "hardware_concurrency=%u)\n\n",
+                sweepNames().size(), threads,
+                std::thread::hardware_concurrency());
+
+    // 1. Workload-level fan-out, cold cache both times.
+    cache.clear();
+    std::uint64_t sum1 = 0, sumN = 0;
+    double cold_seq = runSweep(1, sum1);
+    cache.clear();
+    double cold_par = runSweep(threads, sumN);
+    if (sum1 != sumN) {
+        std::fprintf(stderr, "FATAL: sweep checksum diverged (%llu vs "
+                             "%llu)\n",
+                     static_cast<unsigned long long>(sum1),
+                     static_cast<unsigned long long>(sumN));
+        return 1;
+    }
+    double pool_speedup = cold_par > 0.0 ? cold_seq / cold_par : 0.0;
+    std::printf("sweep cold, sequential:   %7.3f s\n", cold_seq);
+    std::printf("sweep cold, %d-thread:     %7.3f s  (%.2fx)\n", threads,
+                cold_par, pool_speedup);
+    gauge("sweep.cold_seq_seconds", cold_seq);
+    gauge("sweep.cold_pool_seconds", cold_par);
+    gauge("sweep.pool_threads", threads);
+    gauge("sweep.pool_speedup", pool_speedup);
+
+    // 2. Memoization: the identical sweep against the cache the
+    // pool run just filled.
+    std::uint64_t hits0 = cache.hits(), misses0 = cache.misses();
+    std::uint64_t sumW = 0;
+    double warm = runSweep(1, sumW);
+    double memo_speedup = warm > 0.0 ? cold_seq / warm : 0.0;
+    std::uint64_t hits = cache.hits() - hits0;
+    std::uint64_t misses = cache.misses() - misses0;
+    double hit_rate = hits + misses > 0
+                          ? static_cast<double>(hits) /
+                                static_cast<double>(hits + misses)
+                          : 0.0;
+    if (sumW != sum1) {
+        std::fprintf(stderr, "FATAL: warm sweep checksum diverged\n");
+        return 1;
+    }
+    std::printf("sweep warm, sequential:   %7.3f s  (%.2fx, "
+                "hit rate %.0f%%)\n",
+                warm, memo_speedup, 100.0 * hit_rate);
+    gauge("sweep.warm_seconds", warm);
+    gauge("sweep.memo_speedup", memo_speedup);
+    gauge("cache.hits", static_cast<double>(hits));
+    gauge("cache.misses", static_cast<double>(misses));
+    gauge("cache.hit_rate", hit_rate);
+
+    // 3. Intra-search speculation on the deepest workload.
+    cache.clear();
+    double dnn1 = runDnn(1);
+    cache.clear();
+    double dnn4 = runDnn(4);
+    double spec_speedup = dnn4 > 0.0 ? dnn1 / dnn4 : 0.0;
+    std::printf("vgg16 search, jobs=1:     %7.3f s\n", dnn1);
+    std::printf("vgg16 search, jobs=4:     %7.3f s  (%.2fx)\n", dnn4,
+                spec_speedup);
+    gauge("vgg16.jobs1_seconds", dnn1);
+    gauge("vgg16.jobs4_seconds", dnn4);
+    gauge("vgg16.speculation_speedup", spec_speedup);
+
+    if (!json.empty())
+        std::printf("\nwrote %s\n", json.c_str());
+    benchutil::writeBenchMetrics(json);
+    return 0;
+}

@@ -6,6 +6,7 @@
 #include "check/legality.h"
 #include "driver/compiler.h"
 #include "lower/lower.h"
+#include "obs/obs.h"
 #include "support/diagnostics.h"
 #include "support/string_util.h"
 #include "transform/poly_stmt.h"
@@ -584,6 +585,9 @@ generateSchedule(workloads::Workload &w, unsigned seed,
 FuzzResult
 fuzzWorkload(const std::string &workload, const FuzzOptions &options)
 {
+    obs::Span span("check.fuzz", "check");
+    span.arg("workload", workload);
+    span.arg("cases", static_cast<std::int64_t>(options.cases));
     FuzzResult result;
     result.workload = workload;
     result.size =
@@ -608,6 +612,8 @@ fuzzWorkload(const std::string &workload, const FuzzOptions &options)
     };
 
     for (int idx = 0; idx < options.cases; ++idx) {
+        obs::Span case_span("check.fuzz.case", "check");
+        case_span.arg("case", static_cast<std::int64_t>(idx));
         Rng rng((static_cast<std::uint64_t>(options.seed) << 32) ^
                 (static_cast<std::uint64_t>(idx) * 0x2545f4914f6cdd1dULL +
                  1));
@@ -625,6 +631,9 @@ fuzzWorkload(const std::string &workload, const FuzzOptions &options)
             continue;
 
         if (options.shrink) {
+            obs::Span shrink_span("check.fuzz.shrink", "check");
+            shrink_span.arg("from_ops",
+                            static_cast<std::int64_t>(ops.size()));
             bool improved = true;
             while (improved && ops.size() > 1) {
                 improved = false;

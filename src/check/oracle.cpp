@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/obs.h"
 #include "support/diagnostics.h"
 #include "support/string_util.h"
 
@@ -101,8 +102,10 @@ ir::BufferMap
 runLowered(const lower::LoweredFunction &design, unsigned seed,
            std::uint64_t *work)
 {
+    obs::Span span("check.interpret", "check");
     ir::BufferMap buffers = ir::makeBuffersFor(*design.func, seed);
     std::uint64_t w = ir::runFunction(*design.func, buffers);
+    span.arg("steps", static_cast<std::int64_t>(w));
     if (work)
         *work = w;
     return buffers;
@@ -113,11 +116,13 @@ checkLowered(const dsl::Function &func,
              const lower::LoweredFunction &design,
              const OracleOptions &options)
 {
+    obs::Span span("check.oracle", "check");
     OracleResult result;
     auto ref_design = lowerReference(func);
     ir::BufferMap ref =
         runLowered(ref_design, options.seed, &result.refWork);
     ir::BufferMap test = runLowered(design, options.seed, &result.testWork);
+    span.arg("seed", static_cast<std::int64_t>(options.seed));
 
     for (const auto &[name, ref_buf] : ref) {
         auto it = test.find(name);

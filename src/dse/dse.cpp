@@ -2,16 +2,22 @@
 
 #include <algorithm>
 #include <chrono>
+#include <future>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "check/oracle.h"
 #include "graph/dependence_graph.h"
 #include "hls/count.h"
+#include "hls/estimator_cache.h"
 #include "obs/journal.h"
 #include "obs/obs.h"
 #include "support/diagnostics.h"
+#include "support/string_util.h"
+#include "support/thread_pool.h"
 
 namespace pom::dse {
 
@@ -98,6 +104,60 @@ carriedLevels(const PolyStmt &stmt)
     for (const auto &d : transform::selfDependences(stmt))
         carried[d.level] = true;
     return carried;
+}
+
+/**
+ * Canonical digest of the function's compute semantics -- everything
+ * the estimator can observe that the schedule fingerprint does not
+ * already cover: array shapes/types and the statement expressions.
+ * Feeds hls::designFingerprint() as the funcDigest component.
+ */
+std::string
+functionDigest(const dsl::Function &func)
+{
+    std::ostringstream os;
+    os << "fn " << func.name() << "\n";
+    for (const dsl::Placeholder *p : func.placeholders()) {
+        os << "ph " << p->name() << " t="
+           << static_cast<int>(p->elementType()) << " [";
+        for (auto d : p->shape())
+            os << d << ",";
+        os << "]\n";
+    }
+    for (const dsl::Compute *c : func.computes()) {
+        os << "st " << c->name() << " " << c->dest().str() << " := "
+           << c->rhs().str() << "\n";
+    }
+    return os.str();
+}
+
+/** Parse "S0:degree=4, S1:degree=2; partition ..." back into degrees. */
+std::map<std::string, std::int64_t>
+parsePrimitiveDegrees(const std::string &primitives)
+{
+    std::map<std::string, std::int64_t> out;
+    std::string head = primitives.substr(0, primitives.find(';'));
+    std::istringstream is(head);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+        size_t b = tok.find_first_not_of(" \t");
+        if (b == std::string::npos)
+            continue;
+        tok = tok.substr(b);
+        size_t sep = tok.find(":degree=");
+        if (sep == std::string::npos) {
+            support::fatal("replay: malformed primitives token '" + tok +
+                           "' (expected NAME:degree=N)");
+        }
+        std::int64_t degree = 0;
+        if (!support::parseInt64(tok.substr(sep + 8), degree) ||
+            degree < 1) {
+            support::fatal("replay: bad parallelism degree in '" + tok +
+                           "'");
+        }
+        out[tok.substr(0, sep)] = degree;
+    }
+    return out;
 }
 
 } // namespace
@@ -256,7 +316,8 @@ class Engine
   public:
     Engine(dsl::Function &func, const DseOptions &options)
         : func_(func), opt_(options),
-          device_(options.device.scaled(options.resourceFraction))
+          device_(options.device.scaled(options.resourceFraction)),
+          funcDigest_(functionDigest(func))
     {}
 
     DseResult
@@ -298,6 +359,61 @@ class Engine
         result.journal = std::move(journal_);
         span.arg("points_explored", static_cast<std::int64_t>(points_));
         return result;
+    }
+
+    /** Re-materialize one journaled design point (replayPoint()). */
+    ReplayResult
+    replay(const obs::JournalEntry &entry)
+    {
+        obs::Span span("dse.replay", "dse");
+        ReplayResult out;
+        out.entry = entry;
+
+        if (entry.primitives == "(unscheduled)") {
+            // The baseline point: ordering-only directives, no search.
+            auto stmts = lower::extractStmts(func_);
+            lower::applyDirectives(stmts, /*ordering_only=*/true);
+            out.design = lower::lowerStmts(func_, std::move(stmts));
+            out.report = hls::estimate(func_, out.design, estOptions());
+            out.primitives = entry.primitives;
+            return out;
+        }
+
+        auto degrees = parsePrimitiveDegrees(entry.primitives);
+
+        // Stage 1 is deterministic: re-running it reproduces the
+        // statement schedules the journaled degrees were applied to.
+        std::vector<PolyStmt> stmts = lower::extractStmts(func_);
+        if (opt_.applyUserDirectives)
+            lower::applyDirectives(stmts);
+        std::vector<std::string> log;
+        stage1(stmts, log);
+
+        auto units = groupUnits(stmts);
+        for (auto &u : units) {
+            const std::string &name = stmts[u.members[0]].sched.name;
+            auto it = degrees.find(name);
+            if (it == degrees.end()) {
+                support::fatal(
+                    "replay: journal names no parallelism degree for "
+                    "statement '" + name +
+                    "' -- was it recorded from this workload?");
+            }
+            u.degree = it->second;
+        }
+
+        Candidate c = materialize(stmts, units);
+        if (c.primitives != entry.primitives) {
+            support::fatal(
+                "replay: re-derived primitives do not match the "
+                "journal entry -- the function differs from the one "
+                "the journal was recorded from.\n  journal:  " +
+                entry.primitives + "\n  replayed: " + c.primitives);
+        }
+        out.design = std::move(c.design);
+        out.report = std::move(c.report);
+        out.primitives = std::move(c.primitives);
+        return out;
     }
 
   private:
@@ -507,6 +623,24 @@ class Engine
     }
 
     // ----- Stage 2: bottleneck-oriented code optimization ---------------
+    //
+    // The parallel formulation replays the sequential greedy search
+    // exactly. One sequential iteration picks the open unit with the
+    // largest nest latency (strict argmax, first index on ties), then
+    // either closes it (max parallelism) or evaluates one doubled-degree
+    // trial whose rejection also closes it. Crucially, a close or a
+    // rejection leaves `best` -- and therefore every unit's latency --
+    // untouched, so until a trial is *accepted* the sequential search
+    // visits the open units in a fixed order: latency descending, index
+    // ascending. We compute that order once per round, speculatively
+    // evaluate the first `width` trials on the thread pool (each trial
+    // assumes all earlier steps were rejected, i.e. only its own degree
+    // doubles), then consume the steps strictly in order, journaling and
+    // numbering points at consume time. The first acceptance invalidates
+    // the not-yet-consumed speculations; they are parked for draining
+    // and the round restarts from the new `best`. With width == 1 this
+    // degenerates to the sequential search; for any width the journal is
+    // byte-identical by construction.
 
     void
     stage2(const std::vector<PolyStmt> &base, DseResult &result)
@@ -515,87 +649,158 @@ class Engine
         for (auto &u : units)
             u.degree = 1;
 
+        int width = speculationWidth();
+        support::ThreadPool *pool =
+            width > 1 ? &support::ThreadPool::global() : nullptr;
+        std::vector<std::future<Evaluation>> stale;
+
         // Evaluate the initial (pipeline-only) design.
-        Candidate best = makeCandidate(base, units);
+        Evaluation best = evaluate(base, units);
+        ++points_;
         recordPoint("stage2-init", best.primitives, best.report,
                     "accepted", "initial pipeline-only design");
         result.log.push_back("stage2: initial design " +
                              best.report.str(device_));
 
+        /** One planned step of a speculation round. */
+        struct Step
+        {
+            int unit = -1;
+            std::uint64_t latency = 0; ///< why it is the bottleneck
+            std::int64_t next = 0;     ///< trial parallelism degree
+            bool close = false;        ///< exit mechanism: max parallelism
+            std::future<Evaluation> pending;
+            bool speculated = false;
+        };
+
         while (true) {
-            // Bottleneck: the open unit whose nest dominates latency.
-            int bottleneck = -1;
-            std::uint64_t worst = 0;
+            // Plan the round: open units in sequential visiting order.
+            std::vector<Step> steps;
             for (size_t ui = 0; ui < units.size(); ++ui) {
                 if (!units[ui].open)
                     continue;
-                std::uint64_t lat =
-                    unitLatency(best.report, base, units[ui]);
-                if (bottleneck < 0 || lat > worst) {
-                    bottleneck = static_cast<int>(ui);
-                    worst = lat;
+                Step s;
+                s.unit = static_cast<int>(ui);
+                s.latency = unitLatency(best.report, base, units[ui]);
+                steps.push_back(std::move(s));
+            }
+            if (steps.empty())
+                break; // optimization list is empty
+            std::stable_sort(steps.begin(), steps.end(),
+                             [](const Step &a, const Step &b) {
+                                 return a.latency > b.latency;
+                             });
+
+            // Closes are free; trials consume speculation slots.
+            size_t taken = 0;
+            int trials = 0;
+            for (Step &s : steps) {
+                const Unit &unit = units[s.unit];
+                s.next = unit.degree * 2;
+                s.close = s.next > opt_.maxParallelism ||
+                          s.next > maxDegreeOf(base, unit);
+                ++taken;
+                if (!s.close && ++trials == width)
+                    break;
+            }
+            steps.resize(taken);
+
+            if (pool != nullptr) {
+                for (Step &s : steps) {
+                    if (s.close)
+                        continue;
+                    auto trial_units = units;
+                    trial_units[s.unit].degree = s.next;
+                    s.pending = pool->submit(
+                        [this, &base, tu = std::move(trial_units)]() {
+                            return evaluate(base, tu);
+                        });
+                    s.speculated = true;
                 }
             }
-            if (bottleneck < 0)
-                break; // optimization list is empty
 
-            Unit &unit = units[bottleneck];
-            {
-                obs::JournalEntry e;
-                e.kind = "bottleneck";
-                e.phase = "stage2";
-                e.detail = "selected " + unitNames(base, unit) +
-                           " as bottleneck";
-                e.latencyCycles = worst;
-                e.verdict = "info";
-                e.reason = "largest nest latency among open units";
-                journal_.push_back(std::move(e));
-            }
-            std::int64_t next = unit.degree * 2;
-            if (next > opt_.maxParallelism ||
-                next > maxDegreeOf(base, unit)) {
-                unit.open = false; // exit mechanism: max parallelism
-                note("bottleneck", "stage2",
-                     "stage2: unit reached max parallelism, removed",
-                     result.log);
-                continue;
-            }
+            // Consume strictly in order; stop at the first acceptance.
+            for (size_t si = 0; si < steps.size(); ++si) {
+                Step &s = steps[si];
+                Unit &unit = units[s.unit];
+                {
+                    obs::JournalEntry e;
+                    e.kind = "bottleneck";
+                    e.phase = "stage2";
+                    e.detail = "selected " + unitNames(base, unit) +
+                               " as bottleneck";
+                    e.latencyCycles = s.latency;
+                    e.verdict = "info";
+                    e.reason = "largest nest latency among open units";
+                    journal_.push_back(std::move(e));
+                }
+                if (s.close) {
+                    unit.open = false; // exit mechanism: max parallelism
+                    note("bottleneck", "stage2",
+                         "stage2: unit reached max parallelism, removed",
+                         result.log);
+                    continue;
+                }
 
-            std::int64_t saved = unit.degree;
-            unit.degree = next;
-            Candidate trial = makeCandidate(base, units);
-            if (!trial.report.resources.fitsIn(device_)) {
-                recordPoint("stage2", trial.primitives, trial.report,
-                            "rejected", "exceeds resource budget");
-                unit.degree = saved;
-                unit.open = false; // exit mechanism: resource bound
+                Evaluation trial;
+                if (s.speculated) {
+                    trial = s.pending.get();
+                } else {
+                    auto trial_units = units;
+                    trial_units[s.unit].degree = s.next;
+                    trial = evaluate(base, trial_units);
+                }
+                ++points_;
+                if (!trial.report.resources.fitsIn(device_)) {
+                    recordPoint("stage2", trial.primitives, trial.report,
+                                "rejected", "exceeds resource budget");
+                    unit.open = false; // exit mechanism: resource bound
+                    result.log.push_back(
+                        "stage2: unit exceeds resource budget, removed");
+                    continue;
+                }
+                if (trial.report.latencyCycles >=
+                    best.report.latencyCycles) {
+                    recordPoint("stage2", trial.primitives, trial.report,
+                                "rejected", "no latency improvement");
+                    unit.open = false;
+                    result.log.push_back(
+                        "stage2: no latency improvement, removed");
+                    continue;
+                }
+                unit.degree = s.next;
+                best = std::move(trial);
+                recordPoint("stage2", best.primitives, best.report,
+                            "accepted", "latency improved");
                 result.log.push_back(
-                    "stage2: unit exceeds resource budget, removed");
-                continue;
+                    "stage2: parallelism " + std::to_string(s.next) +
+                    " -> " + best.report.str(device_));
+
+                // The remaining speculations assumed this acceptance
+                // did not happen; park them and re-plan from the new
+                // best. Their results never reach the journal.
+                for (size_t sj = si + 1; sj < steps.size(); ++sj) {
+                    if (steps[sj].speculated)
+                        stale.push_back(std::move(steps[sj].pending));
+                }
+                break;
             }
-            if (trial.report.latencyCycles >= best.report.latencyCycles) {
-                recordPoint("stage2", trial.primitives, trial.report,
-                            "rejected", "no latency improvement");
-                unit.degree = saved;
-                unit.open = false;
-                result.log.push_back(
-                    "stage2: no latency improvement, removed");
-                continue;
-            }
-            best = std::move(trial);
-            recordPoint("stage2", best.primitives, best.report,
-                        "accepted", "latency improved");
-            result.log.push_back(
-                "stage2: parallelism " + std::to_string(next) + " -> " +
-                best.report.str(device_));
         }
 
+        // Settle abandoned speculative work before the final
+        // materialization mutates the function's partition state.
+        for (auto &f : stale)
+            f.get();
+
         // Materialize the winning design (also rewrites partitions).
-        best = makeCandidate(base, units);
-        recordPoint("final", best.primitives, best.report, "accepted",
+        // Its estimate was stored by the search, so with memoization on
+        // this is always an estimator-cache hit.
+        Candidate winner = materialize(base, units);
+        ++points_;
+        recordPoint("final", winner.primitives, winner.report, "accepted",
                     "selected design");
-        result.design = std::move(best.design);
-        result.report = std::move(best.report);
+        result.design = std::move(winner.design);
+        result.report = std::move(winner.report);
         for (const auto &u : units) {
             for (size_t m : u.members) {
                 result.parallelism.emplace_back(base[m].sched.name,
@@ -604,6 +809,15 @@ class Engine
         }
     }
 
+    /** A search-time design point: report only, never a lowered design. */
+    struct Evaluation
+    {
+        hls::SynthesisReport report;
+        std::string primitives; ///< journal summary of the schedule
+        bool fromCache = false;
+    };
+
+    /** A materialized design point (the final / replayed design). */
     struct Candidate
     {
         lower::LoweredFunction design;
@@ -689,35 +903,161 @@ class Engine
         return std::max<std::int64_t>(1, cap);
     }
 
-    /** Apply unit degrees to fresh statements, lower and estimate. */
-    Candidate
-    makeCandidate(const std::vector<PolyStmt> &base,
-                  const std::vector<Unit> &units)
+    /** Effective stage-2 speculation width (1 = sequential search). */
+    int
+    speculationWidth() const
     {
-        obs::Span span("dse.point", "dse");
-        std::vector<PolyStmt> stmts = base;
-        std::map<std::string, std::vector<std::int64_t>> partitions;
+        if (opt_.verifyEachPoint)
+            return 1; // every point must really be lowered + interpreted
+        int width = opt_.jobs > 0 ? opt_.jobs : support::jobs();
+        if (width <= 1)
+            return 1;
+        // A pool worker must never wait on futures of its own pool
+        // (e.g. autoDSE called from a parallel sweep); fall back to the
+        // sequential search instead of deadlocking.
+        if (support::ThreadPool::global().isWorkerThread())
+            return 1;
+        return width;
+    }
+
+    /**
+     * Apply unit degrees to a copy of the base statements, producing
+     * the transformed schedules, the partition plan and the journal
+     * summary. Pure with respect to the engine: safe to run on several
+     * pool workers at once.
+     */
+    struct Schedules
+    {
+        std::vector<PolyStmt> stmts;
+        hls::PartitionPlan partitions;
+        std::string primitives;
+    };
+
+    Schedules
+    scheduleUnits(const std::vector<PolyStmt> &base,
+                  const std::vector<Unit> &units) const
+    {
+        Schedules s;
+        s.stmts = base;
         for (const auto &unit : units) {
             size_t min_level = 0;
             if (unit.members.size() > 1 &&
-                anyProducerRelation(stmts, unit.members)) {
-                min_level = sharedDepth(stmts, unit.members);
+                anyProducerRelation(s.stmts, unit.members)) {
+                min_level = sharedDepth(s.stmts, unit.members);
             }
             for (size_t m : unit.members) {
-                applyParallelSchedule(stmts[m], unit.degree,
+                applyParallelSchedule(s.stmts[m], unit.degree,
                                       opt_.innerUnrollCap, func_,
-                                      partitions, min_level);
+                                      s.partitions, min_level);
             }
         }
-        applyPartitions(func_, partitions);
+        s.primitives = primitivesSummary(base, units, s.partitions);
+        return s;
+    }
+
+    /**
+     * Estimate one candidate design point without mutating the shared
+     * function (partitioning goes through the estimator override) and
+     * without touching the journal or the point counter -- the caller
+     * merges results deterministically. Memoized in the process-wide
+     * estimator cache unless the oracle must see every lowered design.
+     */
+    Evaluation
+    evaluate(const std::vector<PolyStmt> &base,
+             const std::vector<Unit> &units)
+    {
+        obs::Span span("dse.point", "dse");
+        Schedules s = scheduleUnits(base, units);
+        Evaluation ev;
+        ev.primitives = s.primitives;
+        span.arg("primitives", ev.primitives);
+
+        bool use_cache = opt_.memoize && !opt_.verifyEachPoint;
+        std::string key;
+        if (use_cache) {
+            key = hls::designFingerprint(funcDigest_, s.stmts,
+                                         s.partitions, estOptions());
+            if (auto hit = hls::EstimatorCache::global().lookup(key)) {
+                obs::counterAdd("dse.cache.hits");
+                ev.report = std::move(*hit);
+                ev.fromCache = true;
+                span.arg("cache", "hit");
+                span.arg("latency_cycles",
+                         static_cast<std::int64_t>(
+                             ev.report.latencyCycles));
+                return ev;
+            }
+            obs::counterAdd("dse.cache.misses");
+            span.arg("cache", "miss");
+        }
+
+        auto lowered = lower::lowerStmts(func_, std::move(s.stmts));
+        hls::EstimatorOptions eo = estOptions();
+        eo.partitionOverride = &s.partitions;
+        ev.report = hls::estimate(func_, lowered, eo);
+        if (use_cache)
+            hls::EstimatorCache::global().store(key, ev.report);
+        span.arg("latency_cycles",
+                 static_cast<std::int64_t>(ev.report.latencyCycles));
+        if (opt_.verifyEachPoint) {
+            check::OracleOptions oracle;
+            oracle.seed = opt_.verifySeed;
+            check::OracleResult res =
+                check::checkLowered(func_, lowered, oracle);
+            if (!res.equivalent)
+                support::fatal("DSE produced a non-equivalent design "
+                               "point:\n" +
+                               res.message);
+            ++verified_;
+        }
+        return ev;
+    }
+
+    /**
+     * Fully materialize a design point: rewrite the function's
+     * partition directives, lower, and estimate (a guaranteed cache hit
+     * when the search already evaluated this configuration). Only the
+     * final selected design and journal replays pay for this.
+     */
+    Candidate
+    materialize(const std::vector<PolyStmt> &base,
+                const std::vector<Unit> &units)
+    {
+        obs::Span span("dse.point", "dse");
+        Schedules s = scheduleUnits(base, units);
+        applyPartitions(func_, s.partitions);
 
         Candidate c;
-        c.primitives = primitivesSummary(base, units, partitions);
-        c.design = lower::lowerStmts(func_, std::move(stmts));
-        c.report = hls::estimate(func_, c.design, estOptions());
-        ++points_;
-        span.arg("point", static_cast<std::int64_t>(points_));
+        c.primitives = s.primitives;
         span.arg("primitives", c.primitives);
+
+        // Fingerprint before lowering: lowerStmts consumes the stmts.
+        bool use_cache = opt_.memoize && !opt_.verifyEachPoint;
+        std::string key;
+        if (use_cache) {
+            key = hls::designFingerprint(funcDigest_, s.stmts,
+                                         s.partitions, estOptions());
+        }
+        c.design = lower::lowerStmts(func_, std::move(s.stmts));
+
+        std::optional<hls::SynthesisReport> hit;
+        if (use_cache)
+            hit = hls::EstimatorCache::global().lookup(key);
+        if (hit) {
+            obs::counterAdd("dse.cache.hits");
+            span.arg("cache", "hit");
+            c.report = std::move(*hit);
+        } else {
+            if (use_cache) {
+                obs::counterAdd("dse.cache.misses");
+                span.arg("cache", "miss");
+            }
+            hls::EstimatorOptions eo = estOptions();
+            eo.partitionOverride = &s.partitions;
+            c.report = hls::estimate(func_, c.design, eo);
+            if (use_cache)
+                hls::EstimatorCache::global().store(key, c.report);
+        }
         span.arg("latency_cycles",
                  static_cast<std::int64_t>(c.report.latencyCycles));
         if (opt_.verifyEachPoint) {
@@ -737,6 +1077,7 @@ class Engine
     dsl::Function &func_;
     DseOptions opt_;
     hls::Device device_;
+    std::string funcDigest_;
     int points_ = 0;
     int verified_ = 0;
     std::vector<obs::JournalEntry> journal_;
@@ -752,6 +1093,24 @@ autoDSE(dsl::Function &func, const DseOptions &options)
     if (obs::journalEnabled())
         obs::journal().record(result.journal);
     return result;
+}
+
+ReplayResult
+replayPoint(dsl::Function &func,
+            const std::vector<obs::JournalEntry> &journal, int point,
+            const DseOptions &options)
+{
+    const obs::JournalEntry *entry = nullptr;
+    for (const auto &e : journal) {
+        if (e.kind == "point" && e.point == point)
+            entry = &e;
+    }
+    if (entry == nullptr) {
+        support::fatal("replay: the journal has no design point " +
+                       std::to_string(point));
+    }
+    Engine engine(func, options);
+    return engine.replay(*entry);
 }
 
 } // namespace pom::dse

@@ -59,12 +59,33 @@ struct DseOptions
      * equivalence oracle (check/oracle.h) and abort the search if a
      * transformation ever changes the program's semantics. Costs one
      * pair of interpreter runs per point; meant for tests and debugging
-     * at interpreter-friendly sizes.
+     * at interpreter-friendly sizes. Forces single-threaded, uncached
+     * evaluation so every point really is lowered and interpreted.
      */
     bool verifyEachPoint = false;
 
     /** Buffer fill seed used by verifyEachPoint. */
     unsigned verifySeed = 1;
+
+    /**
+     * Speculative evaluation width for stage 2: how many candidate
+     * design points may be estimated concurrently on the process-wide
+     * thread pool (support/thread_pool.h). 0 means support::jobs()
+     * (i.e. `pomc --jobs N` / POM_JOBS / hardware concurrency). The
+     * search trajectory, the journal and the selected design are
+     * bit-identical for every value -- speculation only overlaps the
+     * estimator calls the sequential search would have made anyway.
+     */
+    int jobs = 0;
+
+    /**
+     * Memoize synthesis estimates in the process-wide EstimatorCache
+     * (hls/estimator_cache.h), keyed by the canonical design
+     * fingerprint. Repeated evaluations of the same schedule -- the
+     * final materialization, replays, repeated sweeps -- skip both
+     * lowering and estimation. Ignored when verifyEachPoint is set.
+     */
+    bool memoize = true;
 };
 
 /** Outcome of a DSE run. */
@@ -113,6 +134,36 @@ struct DseResult
  * rewritten to match the selected design.
  */
 DseResult autoDSE(dsl::Function &func, const DseOptions &options = {});
+
+/** One journaled design point, re-materialized (pomc --replay-journal). */
+struct ReplayResult
+{
+    /** The re-lowered design (feedable to emit::emitHlsC). */
+    lower::LoweredFunction design;
+
+    /** Its synthesis report (matches the journaled numbers). */
+    hls::SynthesisReport report;
+
+    /** Re-derived primitives summary (equals the journal entry's). */
+    std::string primitives;
+
+    /** The journal entry that was replayed. */
+    obs::JournalEntry entry;
+};
+
+/**
+ * Re-materialize design point @p point of a recorded search journal on
+ * @p func: re-run the deterministic stage-1 transformation, re-apply
+ * the journaled parallelism degrees, lower and estimate. @p func must
+ * be the same workload (same statements, sizes and directives) the
+ * journal was recorded from -- the re-derived primitives summary is
+ * checked against the journal entry and a mismatch is fatal. Partition
+ * directives on the function's placeholders are rewritten to match the
+ * replayed point.
+ */
+ReplayResult replayPoint(dsl::Function &func,
+                         const std::vector<obs::JournalEntry> &journal,
+                         int point, const DseOptions &options = {});
 
 /**
  * Apply the standard parallelism pattern to one statement (Fig. 6):

@@ -168,7 +168,14 @@ class Estimator
                       ir::bitWidth(p->elementType());
             for (auto d : p->shape())
                 ai.bits *= d;
-            if (!p->partitionFactors().empty()) {
+            if (options.partitionOverride != nullptr) {
+                auto it = options.partitionOverride->find(p->name());
+                if (it != options.partitionOverride->end()) {
+                    ai.banks = 1; // plan partitions are always cyclic
+                    for (auto f : it->second)
+                        ai.banks *= f;
+                }
+            } else if (!p->partitionFactors().empty()) {
                 ai.complete = p->partitionKind() == "complete";
                 ai.banks = 1;
                 for (auto f : p->partitionFactors())

@@ -24,6 +24,7 @@
 #define POM_HLS_ESTIMATOR_H
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +34,14 @@
 #include "lower/lower.h"
 
 namespace pom::hls {
+
+/**
+ * An array-partition assignment: array name -> per-dimension factors.
+ * An absent array (or all-ones factors) is unpartitioned; any factor
+ * greater than one means cyclic banking, matching what the DSE's
+ * applyPartitions() writes onto the function's placeholders.
+ */
+using PartitionPlan = std::map<std::string, std::vector<std::int64_t>>;
 
 /** Per-pipelined-loop synthesis details. */
 struct LoopReport
@@ -83,6 +92,16 @@ struct EstimatorOptions
     Device device = Device::xc7z020();
     OpCosts costs;
     SharingMode sharing = SharingMode::Reuse;
+
+    /**
+     * When non-null, array banking comes from this plan instead of the
+     * function's placeholder partition directives. The DSE engine uses
+     * it to evaluate candidate design points concurrently without
+     * mutating the shared dsl::Function (estimating with the override
+     * is equivalent to applyPartitions() + estimating). The pointer is
+     * only read during estimate(); the plan must outlive the call.
+     */
+    const PartitionPlan *partitionOverride = nullptr;
 };
 
 /**

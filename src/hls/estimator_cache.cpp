@@ -1,0 +1,114 @@
+#include "hls/estimator_cache.h"
+
+#include <sstream>
+
+namespace pom::hls {
+
+std::string
+scheduleFingerprint(const std::vector<transform::PolyStmt> &stmts)
+{
+    std::ostringstream os;
+    for (const auto &s : stmts) {
+        os << "stmt " << s.sched.name << "\n";
+        os << " domain " << s.sched.domain.str() << "\n";
+        os << " betas";
+        for (auto b : s.sched.betas)
+            os << " " << b;
+        os << "\n orig " << s.sched.origMap.str() << "\n";
+        for (size_t l = 0; l < s.sched.hwPerDim.size(); ++l) {
+            const auto &hw = s.sched.hwPerDim[l];
+            if (!hw.pipelineII && hw.unrollFactor == 1 &&
+                hw.independentArrays.empty()) {
+                continue;
+            }
+            os << " hw " << l << " ii="
+               << (hw.pipelineII ? *hw.pipelineII : -1)
+               << " unroll=" << hw.unrollFactor << " indep=";
+            for (const auto &a : hw.independentArrays)
+                os << a << ",";
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+designFingerprint(const std::string &funcDigest,
+                  const std::vector<transform::PolyStmt> &stmts,
+                  const PartitionPlan &plan,
+                  const EstimatorOptions &options)
+{
+    std::ostringstream os;
+    os << "func\n" << funcDigest << "\n";
+    os << scheduleFingerprint(stmts);
+    for (const auto &[array, factors] : plan) {
+        os << "part " << array << " [";
+        for (auto f : factors)
+            os << f << ",";
+        os << "]\n";
+    }
+    const Device &d = options.device;
+    os << "device dsp=" << d.dsp << " lut=" << d.lut << " ff=" << d.ff
+       << " bram=" << d.bramBits << " mhz=" << d.clockMHz << "\n";
+    os << "sharing=" << (options.sharing == SharingMode::Reuse ? "reuse"
+                                                               : "dataflow")
+       << "\n";
+    const OpCosts &c = options.costs;
+    os << "costs " << c.faddLat << " " << c.fmulLat << " " << c.fdivLat
+       << " " << c.fcmpLat << " " << c.iaddLat << " " << c.imulLat << " "
+       << c.loadLat << " " << c.storeLat << " " << c.faddDsp << " "
+       << c.faddLut << " " << c.faddFf << " " << c.fmulDsp << " "
+       << c.fmulLut << " " << c.fmulFf << " " << c.fdivDsp << " "
+       << c.fdivLut << " " << c.fdivFf << " " << c.fcmpDsp << " "
+       << c.fcmpLut << " " << c.fcmpFf << " " << c.iaddDsp << " "
+       << c.iaddLut << " " << c.iaddFf << " " << c.imulDsp << " "
+       << c.imulLut << " " << c.imulFf << " " << c.loopCtrlLut << " "
+       << c.loopCtrlFf << " " << c.bankMuxLut << " "
+       << c.pipelineRegFfPerCopy << "\n";
+    return os.str();
+}
+
+std::optional<SynthesisReport>
+EstimatorCache::lookup(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+void
+EstimatorCache::store(const std::string &key, const SynthesisReport &report)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.emplace(key, report);
+}
+
+std::size_t
+EstimatorCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+void
+EstimatorCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    hits_.store(0);
+    misses_.store(0);
+}
+
+EstimatorCache &
+EstimatorCache::global()
+{
+    static EstimatorCache *cache = new EstimatorCache();
+    return *cache;
+}
+
+} // namespace pom::hls

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Memoization in front of hls::estimate for the DSE hot path. A design
+ * point is identified by a *canonical schedule fingerprint*: a textual
+ * serialization of every statement's transformed iteration domain,
+ * schedule betas, origin map and per-loop hardware annotations, plus
+ * the candidate's array-partition plan, the estimator configuration and
+ * a caller-provided digest of the function itself (shapes + bodies +
+ * user directives, e.g. driver::renderDsl). Two candidates produced by
+ * *different primitive sequences* that land on the same transformed
+ * schedule therefore share one estimate, and re-materializing a design
+ * (the final DSE point, --replay-journal, a warm bench re-run) skips
+ * the estimator entirely.
+ *
+ * The full canonical string is the cache key -- no lossy hashing, so a
+ * hit can never return the report of a different schedule. The cache is
+ * process-wide and thread-safe; the DSE engine feeds it from its worker
+ * pool. Reports are small (a few hundred bytes), so an entry per
+ * explored point is cheap; clear() exists for benchmarks that need cold
+ * runs.
+ */
+
+#ifndef POM_HLS_ESTIMATOR_CACHE_H
+#define POM_HLS_ESTIMATOR_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "hls/estimator.h"
+
+namespace pom::hls {
+
+/**
+ * Canonical text of the transformed schedules: per statement the name,
+ * domain, betas, origin map and hardware annotations, in statement
+ * order. This is the schedule part of a design-point fingerprint; it is
+ * also a useful debugging dump on its own.
+ */
+std::string
+scheduleFingerprint(const std::vector<transform::PolyStmt> &stmts);
+
+/**
+ * Full design-point fingerprint: @p funcDigest (any canonical rendering
+ * of the function, stable across candidates of one search), the
+ * schedule fingerprint of @p stmts, the partition plan and the
+ * estimator options (device, sharing mode, operator costs).
+ */
+std::string
+designFingerprint(const std::string &funcDigest,
+                  const std::vector<transform::PolyStmt> &stmts,
+                  const PartitionPlan &plan,
+                  const EstimatorOptions &options);
+
+/** Thread-safe fingerprint -> SynthesisReport map with hit statistics. */
+class EstimatorCache
+{
+  public:
+    /** Cached report for @p key; counts a hit/miss either way. */
+    std::optional<SynthesisReport> lookup(const std::string &key);
+
+    /** Insert (first writer wins; concurrent duplicates are idempotent). */
+    void store(const std::string &key, const SynthesisReport &report);
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::size_t size() const;
+
+    /** Drop all entries and reset the statistics (cold-run benchmarks). */
+    void clear();
+
+    /** The process-wide cache the DSE engine uses. */
+    static EstimatorCache &global();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, SynthesisReport> map_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace pom::hls
+
+#endif // POM_HLS_ESTIMATOR_CACHE_H

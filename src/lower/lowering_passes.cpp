@@ -5,6 +5,8 @@
  * code drives lower()/lowerStmts(), pom-opt pipelines, and tests.
  */
 
+#include <mutex>
+
 #include "lower/lower.h"
 #include "pass/pass_manager.h"
 #include "support/diagnostics.h"
@@ -136,10 +138,11 @@ boolOption(const pass::PassOptions &options, const std::string &key)
 void
 registerLoweringPasses()
 {
-    static bool registered = false;
-    if (registered)
-        return;
-    registered = true;
+    // DSE worker threads lower candidates concurrently; registration
+    // must be exactly-once, and callers must not observe a half-filled
+    // registry, so the whole body runs under the once flag.
+    static std::once_flag once;
+    std::call_once(once, []() {
     auto &registry = pass::PassRegistry::instance();
     registry.add("extract-stmts",
                  "extract polyhedral statements from the DSL function",
@@ -168,6 +171,7 @@ registerLoweringPasses()
                  [](const pass::PassOptions &) {
                      return std::make_unique<AstToAffinePass>();
                  });
+    });
 }
 
 } // namespace pom::lower

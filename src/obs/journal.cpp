@@ -11,6 +11,251 @@ namespace {
 
 std::atomic<bool> g_journal{false};
 
+/**
+ * A minimal recursive-descent scanner for the journal's JSON subset:
+ * objects, arrays, strings (journalJson's escapes), integers, and the
+ * literals true/false/null. Values we do not store are still validated
+ * and skipped.
+ */
+class JsonScanner
+{
+  public:
+    JsonScanner(const std::string &text, std::string &error)
+        : text_(text), error_(error)
+    {}
+
+    size_t pos_ = 0;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error_.empty()) {
+            error_ = what + " at offset " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos_;
+        return true;
+    }
+
+    bool
+    peek(char c)
+    {
+        skipSpace();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        out.clear();
+        if (!consume('"'))
+            return false;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned v = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // journalJson only emits \u00XX control codes.
+                out += static_cast<char>(v & 0xff);
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseInt(std::int64_t &out)
+    {
+        skipSpace();
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9') {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return fail("expected an integer");
+        out = 0;
+        bool negative = text_[start] == '-';
+        for (size_t i = start + (negative ? 1 : 0); i < pos_; ++i)
+            out = out * 10 + (text_[i] - '0');
+        if (negative)
+            out = -out;
+        return true;
+    }
+
+    /** Validate and discard any value (for unknown keys). */
+    bool
+    skipValue()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("expected a value");
+        char c = text_[pos_];
+        if (c == '"') {
+            std::string s;
+            return parseString(s);
+        }
+        if (c == '{' || c == '[') {
+            char close = c == '{' ? '}' : ']';
+            ++pos_;
+            skipSpace();
+            if (peek(close)) {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                if (c == '{') {
+                    std::string key;
+                    if (!parseString(key) || !consume(':'))
+                        return false;
+                }
+                if (!skipValue())
+                    return false;
+                skipSpace();
+                if (peek(',')) {
+                    ++pos_;
+                    continue;
+                }
+                return consume(close);
+            }
+        }
+        if (c == '-' || (c >= '0' && c <= '9')) {
+            std::int64_t v;
+            if (!parseInt(v))
+                return false;
+            // Accept (and ignore) a fractional / exponent tail.
+            while (pos_ < text_.size() &&
+                   (text_[pos_] == '.' || text_[pos_] == 'e' ||
+                    text_[pos_] == 'E' || text_[pos_] == '+' ||
+                    text_[pos_] == '-' ||
+                    (text_[pos_] >= '0' && text_[pos_] <= '9'))) {
+                ++pos_;
+            }
+            return true;
+        }
+        for (const char *lit : {"true", "false", "null"}) {
+            size_t n = std::char_traits<char>::length(lit);
+            if (text_.compare(pos_, n, lit) == 0) {
+                pos_ += n;
+                return true;
+            }
+        }
+        return fail("unrecognized value");
+    }
+
+  private:
+    const std::string &text_;
+    std::string &error_;
+};
+
+bool
+parseJournalEntry(JsonScanner &s, JournalEntry &e)
+{
+    if (!s.consume('{'))
+        return false;
+    if (s.peek('}')) {
+        ++s.pos_;
+        return true;
+    }
+    while (true) {
+        std::string key;
+        if (!s.parseString(key) || !s.consume(':'))
+            return false;
+        bool ok;
+        std::int64_t v = 0;
+        if (key == "kind") {
+            ok = s.parseString(e.kind);
+        } else if (key == "phase") {
+            ok = s.parseString(e.phase);
+        } else if (key == "detail") {
+            ok = s.parseString(e.detail);
+        } else if (key == "primitives") {
+            ok = s.parseString(e.primitives);
+        } else if (key == "verdict") {
+            ok = s.parseString(e.verdict);
+        } else if (key == "reason") {
+            ok = s.parseString(e.reason);
+        } else if (key == "point") {
+            ok = s.parseInt(v);
+            e.point = static_cast<int>(v);
+        } else if (key == "latency_cycles") {
+            ok = s.parseInt(v);
+            e.latencyCycles = static_cast<std::uint64_t>(v);
+        } else if (key == "dsp") {
+            ok = s.parseInt(e.dsp);
+        } else if (key == "bram_bits") {
+            ok = s.parseInt(e.bramBits);
+        } else if (key == "lut") {
+            ok = s.parseInt(e.lut);
+        } else if (key == "ff") {
+            ok = s.parseInt(e.ff);
+        } else {
+            ok = s.skipValue(); // forward compatibility
+        }
+        if (!ok)
+            return false;
+        if (s.peek(',')) {
+            ++s.pos_;
+            continue;
+        }
+        return s.consume('}');
+    }
+}
+
 } // namespace
 
 std::string
@@ -38,6 +283,73 @@ journalJson(const std::vector<JournalEntry> &entries)
     }
     os << "\n]}\n";
     return os.str();
+}
+
+bool
+parseJournalJson(const std::string &text, std::vector<JournalEntry> &out,
+                 std::string &error)
+{
+    out.clear();
+    error.clear();
+    JsonScanner s(text, error);
+    if (!s.consume('{'))
+        return false;
+    bool saw_schema = false;
+    bool saw_events = false;
+    while (true) {
+        std::string key;
+        if (!s.parseString(key) || !s.consume(':'))
+            return false;
+        if (key == "schema") {
+            std::string schema;
+            if (!s.parseString(schema))
+                return false;
+            if (schema != "pom-dse-journal/v1") {
+                error = "unsupported schema '" + schema + "'";
+                return false;
+            }
+            saw_schema = true;
+        } else if (key == "events") {
+            if (!s.consume('['))
+                return false;
+            saw_events = true;
+            if (s.peek(']')) {
+                ++s.pos_;
+            } else {
+                while (true) {
+                    JournalEntry e;
+                    if (!parseJournalEntry(s, e))
+                        return false;
+                    out.push_back(std::move(e));
+                    if (s.peek(',')) {
+                        ++s.pos_;
+                        continue;
+                    }
+                    if (!s.consume(']'))
+                        return false;
+                    break;
+                }
+            }
+        } else if (!s.skipValue()) {
+            return false;
+        }
+        if (s.peek(',')) {
+            ++s.pos_;
+            continue;
+        }
+        if (!s.consume('}'))
+            return false;
+        break;
+    }
+    if (!saw_schema) {
+        error = "missing schema tag";
+        return false;
+    }
+    if (!saw_events) {
+        error = "missing events array";
+        return false;
+    }
+    return true;
 }
 
 void

@@ -60,6 +60,16 @@ struct JournalEntry
 /** Serialize entries as the pom-dse-journal/v1 JSON document. */
 std::string journalJson(const std::vector<JournalEntry> &entries);
 
+/**
+ * Parse a pom-dse-journal/v1 document back into entries (the inverse
+ * of journalJson; what `pomc --replay-journal` loads). Unknown keys
+ * are ignored so minor-version documents stay readable. Returns false
+ * -- with @p error describing the first problem -- on malformed input
+ * or a wrong schema tag.
+ */
+bool parseJournalJson(const std::string &text,
+                      std::vector<JournalEntry> &out, std::string &error);
+
 /** Thread-safe process-wide journal collector. */
 class SearchJournal
 {

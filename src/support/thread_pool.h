@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A small fixed-size thread pool for the compiler's parallel hot paths
+ * (the DSE candidate fan-out and the per-workload bench sweeps). There
+ * is deliberately no work stealing and no task priorities: submitters
+ * enqueue closures, workers drain them FIFO, and determinism is the
+ * caller's job -- results must be merged in submission order, never in
+ * completion order.
+ *
+ * The process-wide worker count is resolved once from (in priority
+ * order) setJobs(), the POM_JOBS environment variable, and
+ * std::thread::hardware_concurrency(); `pomc --jobs N` feeds setJobs().
+ * A value of 1 means "no worker threads": submit() still works (tasks
+ * run on a single worker) but callers typically bypass the pool
+ * entirely when jobs() == 1 so that single-threaded runs stay
+ * synchronous and easy to debug.
+ *
+ * Deadlock rule: a pool worker must never block on a future produced by
+ * its own pool. Callers that may run inside a worker check
+ * isWorkerThread() and fall back to inline execution.
+ */
+
+#ifndef POM_SUPPORT_THREAD_POOL_H
+#define POM_SUPPORT_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace pom::support {
+
+/**
+ * Effective worker count for parallel phases: the last setJobs() value
+ * if any, else the POM_JOBS environment variable (clamped to [1, 256]),
+ * else std::thread::hardware_concurrency() (at least 1).
+ */
+int jobs();
+
+/** Override the worker count (0 resets to the environment default). */
+void setJobs(int n);
+
+/** Fixed-count FIFO worker pool. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers threads (clamped to [1, 256]). */
+    explicit ThreadPool(int workers);
+
+    /** Drains already-queued tasks, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int workerCount() const { return static_cast<int>(threads_.size()); }
+
+    /** Tasks fully executed so far (tests / observability). */
+    std::uint64_t tasksExecuted() const;
+
+    /** True when called from one of this pool's worker threads. */
+    bool isWorkerThread() const;
+
+    /**
+     * Enqueue a callable; the returned future carries its result (or
+     * exception). Never call get()/wait() on it from a worker of the
+     * same pool.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using R = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> result = task->get_future();
+        post([task]() { (*task)(); });
+        return result;
+    }
+
+    /**
+     * The process-wide pool, lazily constructed with jobs() workers on
+     * first use. Call setJobs() (or export POM_JOBS) before the first
+     * parallel phase; later changes do not resize the live pool.
+     */
+    static ThreadPool &global();
+
+  private:
+    void post(std::function<void()> task);
+    void workerLoop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> threads_;
+    std::uint64_t executed_ = 0;
+    bool stopping_ = false;
+};
+
+/**
+ * Run fn(0..n-1) across @p pool and wait for all of them; results are
+ * deterministic because the caller indexes its own output storage. With
+ * a null pool (or a single worker) the loop runs inline, keeping
+ * single-job runs synchronous. Exceptions propagate from the first
+ * failing index.
+ */
+template <typename Fn>
+void
+parallelFor(ThreadPool *pool, std::size_t n, Fn &&fn)
+{
+    if (pool == nullptr || pool->workerCount() <= 1 ||
+        pool->isWorkerThread()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::vector<std::future<void>> done;
+    done.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        done.push_back(pool->submit([&fn, i]() { fn(i); }));
+    for (auto &f : done)
+        f.get();
+}
+
+} // namespace pom::support
+
+#endif // POM_SUPPORT_THREAD_POOL_H

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for the parallel, memoized DSE: journal determinism across
+ * speculation widths, estimator-cache behaviour during a search,
+ * journal replay (pomc --replay-journal), the journal JSON parser, and
+ * the all-workload sweep golden that gates final latency and explored
+ * point count per workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dse/dse.h"
+#include "hls/estimator_cache.h"
+#include "obs/journal.h"
+#include "obs/obs.h"
+#include "support/diagnostics.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace pom;
+using workloads::makeByName;
+
+dse::DseResult
+runDse(const std::string &name, std::int64_t size, int jobs,
+       bool memoize = true)
+{
+    auto w = makeByName(name, size);
+    dse::DseOptions opt;
+    opt.jobs = jobs;
+    opt.memoize = memoize;
+    return dse::autoDSE(w->func(), opt);
+}
+
+TEST(ParallelDse, JournalIdenticalAcrossJobCounts)
+{
+    // The tentpole property: the speculative search must replay the
+    // sequential trajectory exactly, so the journal -- points, order,
+    // verdicts, numbers -- is byte-identical for any worker count.
+    for (const char *name : {"gemm", "bicg", "2mm", "jacobi2d"}) {
+        std::string sequential =
+            obs::journalJson(runDse(name, 64, 1).journal);
+        std::string speculative =
+            obs::journalJson(runDse(name, 64, 4).journal);
+        EXPECT_EQ(sequential, speculative) << name;
+        std::string wide = obs::journalJson(runDse(name, 64, 13).journal);
+        EXPECT_EQ(sequential, wide) << name;
+    }
+}
+
+TEST(ParallelDse, MemoizationDoesNotChangeTheSearch)
+{
+    std::string cold = obs::journalJson(
+        runDse("gesummv", 64, 2, /*memoize=*/false).journal);
+    std::string warm =
+        obs::journalJson(runDse("gesummv", 64, 2, true).journal);
+    // Run again with every estimate already cached.
+    std::string hot =
+        obs::journalJson(runDse("gesummv", 64, 2, true).journal);
+    EXPECT_EQ(cold, warm);
+    EXPECT_EQ(cold, hot);
+}
+
+TEST(ParallelDse, FinalMaterializationHitsTheCache)
+{
+    hls::EstimatorCache &cache = hls::EstimatorCache::global();
+    std::int64_t hits0 = obs::counterValue("dse.cache.hits");
+    std::uint64_t chits0 = cache.hits();
+
+    dse::DseResult res = runDse("atax", 96, 1);
+    EXPECT_GT(res.pointsExplored, 2);
+
+    // The winning configuration was estimated during the search, so
+    // materializing it must be a cache hit -- on every run, even the
+    // first, which is what makes dse.cache.hits nonzero per workload.
+    EXPECT_GT(obs::counterValue("dse.cache.hits"), hits0);
+    EXPECT_GT(cache.hits(), chits0);
+
+    // A warm identical search: every point is served from the cache.
+    std::int64_t misses1 = obs::counterValue("dse.cache.misses");
+    dse::DseResult warm = runDse("atax", 96, 1);
+    EXPECT_EQ(obs::counterValue("dse.cache.misses"), misses1);
+    EXPECT_EQ(warm.report.latencyCycles, res.report.latencyCycles);
+    EXPECT_EQ(warm.pointsExplored, res.pointsExplored);
+}
+
+TEST(ParallelDse, ParallelDesignMatchesSequentialDesign)
+{
+    dse::DseResult seq = runDse("conv2d", 64, 1);
+    dse::DseResult par = runDse("conv2d", 64, 8);
+    EXPECT_EQ(seq.report.latencyCycles, par.report.latencyCycles);
+    EXPECT_EQ(seq.report.resources.dsp, par.report.resources.dsp);
+    EXPECT_EQ(seq.pointsExplored, par.pointsExplored);
+    ASSERT_EQ(seq.parallelism.size(), par.parallelism.size());
+    for (size_t i = 0; i < seq.parallelism.size(); ++i) {
+        EXPECT_EQ(seq.parallelism[i], par.parallelism[i]);
+    }
+}
+
+TEST(JournalParser, RoundTripsTheEmitter)
+{
+    dse::DseResult res = runDse("gemm", 64, 2);
+    std::string json = obs::journalJson(res.journal);
+
+    std::vector<obs::JournalEntry> parsed;
+    std::string error;
+    ASSERT_TRUE(obs::parseJournalJson(json, parsed, error)) << error;
+    ASSERT_EQ(parsed.size(), res.journal.size());
+    for (size_t i = 0; i < parsed.size(); ++i) {
+        EXPECT_EQ(parsed[i].kind, res.journal[i].kind);
+        EXPECT_EQ(parsed[i].phase, res.journal[i].phase);
+        EXPECT_EQ(parsed[i].point, res.journal[i].point);
+        EXPECT_EQ(parsed[i].detail, res.journal[i].detail);
+        EXPECT_EQ(parsed[i].primitives, res.journal[i].primitives);
+        EXPECT_EQ(parsed[i].latencyCycles, res.journal[i].latencyCycles);
+        EXPECT_EQ(parsed[i].dsp, res.journal[i].dsp);
+        EXPECT_EQ(parsed[i].bramBits, res.journal[i].bramBits);
+        EXPECT_EQ(parsed[i].lut, res.journal[i].lut);
+        EXPECT_EQ(parsed[i].ff, res.journal[i].ff);
+        EXPECT_EQ(parsed[i].verdict, res.journal[i].verdict);
+        EXPECT_EQ(parsed[i].reason, res.journal[i].reason);
+    }
+
+    // Escaped content survives the round trip.
+    obs::JournalEntry tricky;
+    tricky.kind = "stage1";
+    tricky.detail = "a \"quoted\"\nbackslash \\ tab\t";
+    std::string doc = obs::journalJson({tricky});
+    ASSERT_TRUE(obs::parseJournalJson(doc, parsed, error)) << error;
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0].detail, tricky.detail);
+}
+
+TEST(JournalParser, RejectsMalformedDocuments)
+{
+    std::vector<obs::JournalEntry> parsed;
+    std::string error;
+    EXPECT_FALSE(obs::parseJournalJson("", parsed, error));
+    EXPECT_FALSE(obs::parseJournalJson("{}", parsed, error));
+    EXPECT_FALSE(obs::parseJournalJson(
+        "{\"schema\": \"other/v9\", \"events\": []}", parsed, error));
+    EXPECT_NE(error.find("schema"), std::string::npos);
+    EXPECT_FALSE(obs::parseJournalJson(
+        "{\"schema\": \"pom-dse-journal/v1\", \"events\": [{\"kind\": ",
+        parsed, error));
+    EXPECT_TRUE(obs::parseJournalJson(
+        "{\"schema\": \"pom-dse-journal/v1\", \"events\": []}", parsed,
+        error))
+        << error;
+    EXPECT_TRUE(parsed.empty());
+}
+
+TEST(Replay, ReproducesJournaledPoints)
+{
+    auto w = makeByName("gemm", 64);
+    dse::DseResult res = dse::autoDSE(w->func());
+
+    for (const auto &e : res.journal) {
+        if (e.kind != "point")
+            continue;
+        auto fresh = makeByName("gemm", 64);
+        dse::ReplayResult rr =
+            dse::replayPoint(fresh->func(), res.journal, e.point);
+        EXPECT_EQ(rr.report.latencyCycles, e.latencyCycles)
+            << "point " << e.point << " (" << e.phase << ")";
+        EXPECT_EQ(rr.report.resources.dsp, e.dsp) << "point " << e.point;
+        EXPECT_EQ(rr.primitives, e.primitives);
+        EXPECT_NE(rr.design.func, nullptr);
+    }
+}
+
+TEST(Replay, RejectsMismatchedWorkloadAndMissingPoint)
+{
+    auto w = makeByName("gemm", 64);
+    dse::DseResult res = dse::autoDSE(w->func());
+
+    auto other = makeByName("bicg", 64);
+    EXPECT_THROW(dse::replayPoint(other->func(), res.journal,
+                                  res.pointsExplored),
+                 support::FatalError);
+    auto fresh = makeByName("gemm", 64);
+    EXPECT_THROW(dse::replayPoint(fresh->func(), res.journal, 99999),
+                 support::FatalError);
+}
+
+// ----- the all-workload sweep golden ------------------------------------
+
+struct SweepRow
+{
+    std::string workload;
+    std::int64_t size = 0;
+    int points = 0;
+    std::uint64_t latency = 0;
+};
+
+/** Pinned sweep configuration: every registered workload. The DNNs get
+ *  a reduced stage-2 bound to keep the tier-1 suite fast; their full
+ *  search depth is exercised by bench/dse_wallclock. */
+std::vector<std::pair<std::string, dse::DseOptions>>
+sweepPlan(std::vector<std::int64_t> &sizes)
+{
+    std::vector<std::pair<std::string, dse::DseOptions>> plan;
+    sizes.clear();
+    for (const auto &name : workloads::allNames()) {
+        dse::DseOptions opt;
+        bool dnn = name == "vgg16" || name == "resnet18";
+        if (dnn)
+            opt.maxParallelism = 2;
+        plan.emplace_back(name, opt);
+        sizes.push_back(dnn ? 64 : 128);
+    }
+    return plan;
+}
+
+TEST(DseSweepGolden, NoWorkloadRegresses)
+{
+    std::vector<std::int64_t> sizes;
+    auto plan = sweepPlan(sizes);
+
+    std::vector<SweepRow> got;
+    for (size_t i = 0; i < plan.size(); ++i) {
+        auto w = makeByName(plan[i].first, sizes[i]);
+        dse::DseResult res = dse::autoDSE(w->func(), plan[i].second);
+        SweepRow row;
+        row.workload = plan[i].first;
+        row.size = sizes[i];
+        row.points = res.pointsExplored;
+        row.latency = res.report.latencyCycles;
+        got.push_back(std::move(row));
+    }
+
+    const std::string path =
+        std::string(POM_GOLDEN_DIR) + "/dse_sweep_expected.txt";
+    if (std::getenv("POM_UPDATE_EXPECTED") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << "# workload size points_explored latency_cycles\n";
+        for (const auto &r : got) {
+            out << r.workload << " " << r.size << " " << r.points << " "
+                << r.latency << "\n";
+        }
+        GTEST_SKIP() << "updated " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (regenerate with POM_UPDATE_EXPECTED=1)";
+    std::vector<SweepRow> expected;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        SweepRow r;
+        std::istringstream ls(line);
+        ASSERT_TRUE(static_cast<bool>(ls >> r.workload >> r.size >>
+                                      r.points >> r.latency))
+            << "malformed golden line: " << line;
+        expected.push_back(std::move(r));
+    }
+
+    for (const auto &g : got) {
+        const SweepRow *e = nullptr;
+        for (const auto &row : expected) {
+            if (row.workload == g.workload && row.size == g.size)
+                e = &row;
+        }
+        if (e == nullptr) {
+            ADD_FAILURE() << g.workload << " (size " << g.size
+                          << ") has no golden row; regenerate with "
+                             "POM_UPDATE_EXPECTED=1";
+            continue;
+        }
+        // One-sided gates: the search may only get better.
+        EXPECT_LE(g.latency, e->latency)
+            << g.workload << ": final latency regressed from "
+            << e->latency << " to " << g.latency;
+        EXPECT_LE(g.points, e->points)
+            << g.workload << ": explored points inflated from "
+            << e->points << " to " << g.points;
+        if (g.latency < e->latency || g.points < e->points) {
+            std::printf("note: %s improved (latency %llu -> %llu, "
+                        "points %d -> %d); consider regenerating the "
+                        "golden with POM_UPDATE_EXPECTED=1\n",
+                        g.workload.c_str(),
+                        static_cast<unsigned long long>(e->latency),
+                        static_cast<unsigned long long>(g.latency),
+                        e->points, g.points);
+        }
+    }
+}
+
+} // namespace

@@ -5,8 +5,8 @@
  * Usage:
  *   pom-opt [file.pom-ir|-] [--pass-pipeline=SPEC] [-o FILE]
  *           [--verify-each] [--dump-after] [--timing] [--list-passes]
- *           [--trace-out FILE] [--metrics-out FILE] [--quiet|-q]
- *           [--verbose|-v]
+ *           [--jobs N] [--trace-out FILE] [--metrics-out FILE]
+ *           [--quiet|-q] [--verbose|-v]
  *
  * Reads a `.pom-ir` module (from a file, or stdin with `-`/no input),
  * parses it, runs the requested pass pipeline over it, and prints the
@@ -43,6 +43,8 @@
 #include "obs/obs.h"
 #include "pass/pass_manager.h"
 #include "support/diagnostics.h"
+#include "support/string_util.h"
+#include "support/thread_pool.h"
 
 using namespace pom;
 
@@ -54,7 +56,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [file.pom-ir|-] [--pass-pipeline=SPEC] "
                  "[-o FILE] [--verify-each] [--dump-after] [--timing] "
-                 "[--trace-out FILE] [--metrics-out FILE] "
+                 "[--jobs N] [--trace-out FILE] [--metrics-out FILE] "
                  "[--quiet|-q] [--verbose|-v]\n"
                  "       %s --list-passes\n",
                  argv0, argv0);
@@ -99,6 +101,17 @@ main(int argc, char **argv)
             dump_after = true;
         } else if (arg == "--timing") {
             want_timing = true;
+        } else if (arg == "--jobs" && a + 1 < argc) {
+            // Worker threads for any parallel phase a pass may start
+            // (equivalent to POM_JOBS=N).
+            std::int64_t n = 0;
+            if (!support::parseInt64(argv[++a], n) || n < 1 || n > 256) {
+                std::fprintf(stderr, "pom-opt: --jobs expects a worker "
+                                     "count in [1, 256], got '%s'\n",
+                             argv[a]);
+                return 2;
+            }
+            support::setJobs(static_cast<int>(n));
         } else if (arg == "-" || arg[0] != '-') {
             if (input_set)
                 return usage(argv[0]);

@@ -4,10 +4,10 @@
  *
  * Usage:
  *   pomc <workload> [size] [--dse] [--framework pom|scalehls|polsca|
- *        pluto|none] [--resources FRACTION] [--emit] [--ast] [--dsl]
- *        [--verify] [--fuzz N] [--seed S] [--timing]
+ *        pluto|none] [--resources FRACTION] [--jobs N] [--emit] [--ast]
+ *        [--dsl] [--verify] [--fuzz N] [--seed S] [--timing]
  *        [--trace-out FILE] [--metrics-out FILE] [--dse-journal FILE]
- *        [--quiet|-q] [--verbose|-v]
+ *        [--replay-journal FILE --point ID] [--quiet|-q] [--verbose|-v]
  *
  * Compiles one of the built-in benchmark workloads (see `pomc --list`)
  * and prints the synthesis report; optionally the generated HLS C
@@ -41,6 +41,27 @@
  *                       decisions and stage-2 bottleneck selections.
  *   -q / --quiet        errors only; -v / --verbose: debug diagnostics.
  *
+ * Parallel search (src/support/thread_pool.h):
+ *   --jobs N            worker threads for the DSE's speculative
+ *                       candidate evaluation (equivalent to POM_JOBS=N;
+ *                       default: hardware concurrency). The journal and
+ *                       the selected design are bit-identical for every
+ *                       N.
+ *
+ * Journal replay (src/dse/replayPoint):
+ *   --replay-journal FILE --point ID
+ *                       skip the search and re-materialize design point
+ *                       ID of a previously recorded --dse-journal file:
+ *                       re-run stage 1, apply the journaled parallelism
+ *                       degrees, lower and estimate. The workload and
+ *                       size must match the recording run. Combine with
+ *                       --emit to regenerate the point's HLS C.
+ *
+ * Examples:
+ *   pomc gemm 1024 --dse --jobs 8
+ *   pomc gemm 256 --dse --dse-journal j.json
+ *   pomc gemm 256 --replay-journal j.json --point 5 --emit
+ *
  * Examples:
  *   pomc gemm 1024 --dse --emit
  *   pomc bicg 4096 --framework scalehls
@@ -52,18 +73,22 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "baselines/baselines.h"
 #include "check/fuzzer.h"
 #include "check/oracle.h"
 #include "driver/compiler.h"
+#include "dse/dse.h"
 #include "emit/hls_emitter.h"
 #include "obs/journal.h"
 #include "obs/obs.h"
 #include "pass/pass_manager.h"
 #include "support/diagnostics.h"
 #include "support/string_util.h"
+#include "support/thread_pool.h"
 #include "workloads/workloads.h"
 
 using namespace pom;
@@ -76,10 +101,12 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s <workload> [size] [--dse] "
                  "[--framework pom|scalehls|polsca|pluto|none] "
-                 "[--resources FRACTION] [--emit] [--ast] [--dsl] "
-                 "[--verify] [--fuzz N] [--seed S] [--timing] "
+                 "[--resources FRACTION] [--jobs N] [--emit] [--ast] "
+                 "[--dsl] [--verify] [--fuzz N] [--seed S] [--timing] "
                  "[--trace-out FILE] [--metrics-out FILE] "
-                 "[--dse-journal FILE] [--quiet|-q] [--verbose|-v]\n"
+                 "[--dse-journal FILE] "
+                 "[--replay-journal FILE --point ID] "
+                 "[--quiet|-q] [--verbose|-v]\n"
                  "       %s --list\n",
                  argv0, argv0);
     return 2;
@@ -129,6 +156,8 @@ main(int argc, char **argv)
     unsigned seed = 1;
     std::string trace_out = obs::traceEnvPath();
     std::string metrics_out, journal_out;
+    std::string replay_journal;
+    int replay_point = -1;
 
     for (int a = 1; a < argc; ++a) {
         std::string arg = argv[a];
@@ -142,6 +171,25 @@ main(int argc, char **argv)
             metrics_out = argv[++a];
         } else if (arg == "--dse-journal" && a + 1 < argc) {
             journal_out = argv[++a];
+        } else if (arg == "--replay-journal" && a + 1 < argc) {
+            replay_journal = argv[++a];
+        } else if (arg == "--point" && a + 1 < argc) {
+            std::int64_t p = intArg("--point", argv[++a]);
+            if (p < 0 || p > 1000000) {
+                std::fprintf(stderr, "pomc: --point expects a design "
+                                     "point index, got '%s'\n", argv[a]);
+                return 2;
+            }
+            replay_point = static_cast<int>(p);
+        } else if (arg == "--jobs" && a + 1 < argc) {
+            std::int64_t n = intArg("--jobs", argv[++a]);
+            if (n < 1 || n > 256) {
+                std::fprintf(stderr, "pomc: --jobs expects a worker "
+                                     "count in [1, 256], got '%s'\n",
+                             argv[a]);
+                return 2;
+            }
+            support::setJobs(static_cast<int>(n));
         } else if (arg == "--quiet" || arg == "-q") {
             support::setDiagLevel(support::DiagLevel::Error);
         } else if (arg == "--verbose" || arg == "-v") {
@@ -260,6 +308,68 @@ main(int argc, char **argv)
             if (want_timing)
                 std::printf("\n%s", pass::globalTimingReport().c_str());
             return fres.ok() ? 0 : 1;
+        }
+
+        if (!replay_journal.empty()) {
+            if (replay_point < 0) {
+                std::fprintf(stderr, "pomc: --replay-journal needs "
+                                     "--point ID\n");
+                return 2;
+            }
+            std::ifstream in(replay_journal);
+            if (!in) {
+                std::fprintf(stderr, "pomc: cannot read '%s'\n",
+                             replay_journal.c_str());
+                return 1;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            std::vector<obs::JournalEntry> entries;
+            std::string parse_error;
+            if (!obs::parseJournalJson(text.str(), entries,
+                                       parse_error)) {
+                std::fprintf(stderr, "pomc: '%s' is not a DSE journal: "
+                                     "%s\n",
+                             replay_journal.c_str(), parse_error.c_str());
+                return 1;
+            }
+
+            auto w = workloads::makeByName(name, size);
+            dse::DseOptions dopt;
+            dopt.device = hls::Device::xc7z020();
+            dopt.resourceFraction = fraction;
+            dse::ReplayResult rr =
+                dse::replayPoint(w->func(), entries, replay_point, dopt);
+
+            auto device = hls::Device::xc7z020().scaled(fraction);
+            std::printf("workload:  %s (size %lld)\n", name.c_str(),
+                        static_cast<long long>(size));
+            std::printf("replayed:  point %d (%s/%s) from %s\n",
+                        replay_point, rr.entry.phase.c_str(),
+                        rr.entry.verdict.c_str(),
+                        replay_journal.c_str());
+            std::printf("primitives: %s\n", rr.primitives.c_str());
+            std::printf("report:    %s\n",
+                        rr.report.str(device).c_str());
+            if (rr.report.latencyCycles != rr.entry.latencyCycles) {
+                std::printf("note:      journaled latency was %llu "
+                            "cycles\n",
+                            static_cast<unsigned long long>(
+                                rr.entry.latencyCycles));
+            }
+            if (want_dsl) {
+                std::printf("\n---- DSL ----\n%s",
+                            driver::renderDsl(w->func()).c_str());
+            }
+            if (want_ast) {
+                std::printf("\n---- polyhedral AST ----\n%s",
+                            rr.design.astRoot->str().c_str());
+            }
+            if (want_emit) {
+                std::printf("\n---- HLS C ----\n%s",
+                            emit::emitHlsC(*rr.design.func).c_str());
+            }
+            return 0;
         }
 
         // Verification interprets the design twice; stick to a small
