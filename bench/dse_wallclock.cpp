@@ -12,6 +12,10 @@
  *      batches on real hardware.
  *   3. Memoization: the same sweep re-run against a warm
  *      hls::EstimatorCache, plus the cache hit rate.
+ *   4. Search strategies: the non-DNN sweep once per stage-2 driver
+ *      (greedy / beam / anneal), cold cache each, reporting points
+ *      explored, final frontier size, wall-clock and cache hit rate
+ *      per strategy ("bench.dse.strategy.<name>.*" gauges).
  *
  * Set POM_BENCH_JSON=BENCH_dse.json to capture every printed number as
  * "bench.dse.*" gauges (see bench_util.h). Speedups depend on the host:
@@ -180,6 +184,45 @@ main()
     gauge("vgg16.jobs1_seconds", dnn1);
     gauge("vgg16.jobs4_seconds", dnn4);
     gauge("vgg16.speculation_speedup", spec_speedup);
+
+    // 4. The same sweep once per search strategy, cold cache each.
+    std::printf("\nper-strategy sweep (cold cache):\n");
+    for (auto kind : {dse::StrategyKind::Greedy, dse::StrategyKind::Beam,
+                      dse::StrategyKind::Anneal}) {
+        cache.clear();
+        std::uint64_t shits0 = cache.hits(), smisses0 = cache.misses();
+        int points = 0;
+        size_t frontier = 0;
+        Clock::time_point t0 = Clock::now();
+        for (const auto &name : sweepNames()) {
+            auto w = workloads::makeByName(name, 128);
+            dse::DseOptions opt;
+            opt.jobs = 1;
+            opt.strategy = kind;
+            dse::DseResult res = dse::autoDSE(w->func(), opt);
+            points += res.pointsExplored;
+            frontier += res.frontier.size();
+        }
+        double secs = seconds(t0);
+        std::uint64_t shits = cache.hits() - shits0;
+        std::uint64_t smisses = cache.misses() - smisses0;
+        double shit_rate =
+            shits + smisses > 0
+                ? static_cast<double>(shits) /
+                      static_cast<double>(shits + smisses)
+                : 0.0;
+        const std::string sname = dse::strategyName(kind);
+        std::printf("  %-7s %5d points, frontier %3zu, %7.3f s, "
+                    "hit rate %.0f%%\n",
+                    sname.c_str(), points, frontier, secs,
+                    100.0 * shit_rate);
+        gauge("strategy." + sname + ".points",
+              static_cast<double>(points));
+        gauge("strategy." + sname + ".frontier_size",
+              static_cast<double>(frontier));
+        gauge("strategy." + sname + ".seconds", secs);
+        gauge("strategy." + sname + ".hit_rate", shit_rate);
+    }
 
     if (!json.empty())
         std::printf("\nwrote %s\n", json.c_str());

@@ -304,13 +304,17 @@ runPom(dsl::Function &func, const BaselineOptions &options)
     dopt.resourceFraction = options.resourceFraction;
     dopt.maxParallelism = options.maxParallelism;
     dopt.innerUnrollCap = options.innerUnrollCap;
+    dopt.strategy = options.strategy;
     dse::DseResult dres = dse::autoDSE(func, dopt);
 
     BaselineResult result;
     result.design = std::move(dres.design);
     result.report = std::move(dres.report);
     result.seconds = dres.dseSeconds;
-    result.notes = "POM two-stage DSE";
+    result.notes = std::string("POM two-stage DSE, ") +
+                   dse::strategyName(options.strategy) + " search";
+    result.journal = std::move(dres.journal);
+    result.frontierRounds = std::move(dres.frontierRounds);
     return result;
 }
 

@@ -38,6 +38,12 @@ struct BaselineResult
     hls::SynthesisReport report;
     double seconds = 0.0;
     std::string notes;
+
+    /** POM only: the DSE journal (empty for the other baselines). */
+    std::vector<obs::JournalEntry> journal;
+
+    /** POM only: per-round Pareto frontier snapshots (journal v2). */
+    std::vector<obs::FrontierRound> frontierRounds;
 };
 
 /** Common configuration for all baselines. */
@@ -51,6 +57,9 @@ struct BaselineOptions
 
     /** Problem size beyond which the ScaleHLS-like DSE degrades. */
     std::int64_t scaleHlsSizeCliff = 8192;
+
+    /** Stage-2 search driver of the POM DSE (`pomc --strategy`). */
+    dse::StrategyKind strategy = dse::StrategyKind::Greedy;
 };
 
 /** The input program without any optimization. */

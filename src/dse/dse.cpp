@@ -336,6 +336,7 @@ class Engine
             result.baseline = hls::estimate(func_, plain, estOptions());
             recordPoint("baseline", "(unscheduled)", result.baseline,
                         "info", "unoptimized reference design");
+            frontierInsert(result.baseline, "(unscheduled)", points_);
         }
 
         std::vector<PolyStmt> stmts = lower::extractStmts(func_);
@@ -357,6 +358,8 @@ class Engine
         result.pointsExplored = points_;
         result.pointsVerified = verified_;
         result.journal = std::move(journal_);
+        result.frontier = frontier_.points();
+        result.frontierRounds = std::move(frontierRounds_);
         span.arg("points_explored", static_cast<std::int64_t>(points_));
         return result;
     }
@@ -622,25 +625,104 @@ class Engine
         }
     }
 
-    // ----- Stage 2: bottleneck-oriented code optimization ---------------
+    // ----- Stage 2: strategy-driven design space exploration -------------
     //
-    // The parallel formulation replays the sequential greedy search
-    // exactly. One sequential iteration picks the open unit with the
-    // largest nest latency (strict argmax, first index on ties), then
-    // either closes it (max parallelism) or evaluates one doubled-degree
-    // trial whose rejection also closes it. Crucially, a close or a
-    // rejection leaves `best` -- and therefore every unit's latency --
-    // untouched, so until a trial is *accepted* the sequential search
-    // visits the open units in a fixed order: latency descending, index
-    // ascending. We compute that order once per round, speculatively
-    // evaluate the first `width` trials on the thread pool (each trial
-    // assumes all earlier steps were rejected, i.e. only its own degree
-    // doubles), then consume the steps strictly in order, journaling and
-    // numbering points at consume time. The first acceptance invalidates
-    // the not-yet-consumed speculations; they are parked for draining
-    // and the round restarts from the new `best`. With width == 1 this
-    // degenerates to the sequential search; for any width the journal is
-    // byte-identical by construction.
+    // The search trajectory belongs to a SearchStrategy (dse/strategy.h:
+    // greedy / beam / anneal); this engine owns everything that must
+    // stay byte-deterministic at any worker count. Each round the
+    // strategy plans an ordered list of steps whose content cannot
+    // depend on the worker count; the engine evaluates the trial steps
+    // speculatively on the thread pool (at most `width` in flight,
+    // topped up as results are consumed) and hands results to
+    // consume() strictly in plan order on this thread, numbering
+    // points, journaling, and growing the Pareto frontier at consume
+    // time. A strategy abandons the rest of a round by returning false
+    // (greedy does on its first acceptance); the abandoned futures are
+    // parked and drained later, their results never observed. With
+    // width == 1 this degenerates to a fully sequential search; for any
+    // width the journal -- v1 events and v2 frontier sections alike --
+    // is byte-identical by construction.
+
+    /** Recorder the strategies journal through (numbering stays here). */
+    class Recorder final : public SearchRecorder
+    {
+      public:
+        Recorder(Engine &engine, DseResult &result)
+            : engine_(engine), result_(result)
+        {}
+
+        void
+        point(const std::string &phase, const PointEval &ev,
+              const std::string &verdict,
+              const std::string &reason) override
+        {
+            engine_.recordPoint(phase, ev.primitives, ev.report, verdict,
+                                reason);
+        }
+
+        void
+        event(const obs::JournalEntry &entry) override
+        {
+            engine_.journal_.push_back(entry);
+        }
+
+        void
+        note(const std::string &kind, const std::string &phase,
+             const std::string &detail) override
+        {
+            engine_.note(kind.c_str(), phase.c_str(), detail,
+                         result_.log);
+        }
+
+        void
+        log(const std::string &line) override
+        {
+            result_.log.push_back(line);
+        }
+
+      private:
+        Engine &engine_;
+        DseResult &result_;
+    };
+
+    /** Offer a feasible estimated point to the Pareto frontier. */
+    void
+    frontierInsert(const hls::SynthesisReport &report,
+                   const std::string &primitives, int point)
+    {
+        if (!report.resources.fitsIn(device_))
+            return;
+        FrontierPoint p;
+        p.point = point;
+        p.primitives = primitives;
+        p.latencyCycles = report.latencyCycles;
+        p.dsp = report.resources.dsp;
+        p.bramBits = report.resources.bramBits;
+        p.lut = report.resources.lut;
+        switch (frontier_.insert(p)) {
+          case ParetoFrontier::Insert::Added:
+            obs::counterAdd("dse.frontier.inserts");
+            break;
+          case ParetoFrontier::Insert::Dominated:
+            obs::counterAdd("dse.frontier.dominated");
+            break;
+          case ParetoFrontier::Insert::Duplicate:
+            break;
+        }
+        obs::gaugeSet("dse.frontier.size",
+                      static_cast<double>(frontier_.size()));
+    }
+
+    /** Append the current frontier as the next v2 journal section. */
+    void
+    snapshotFrontier(StrategyKind kind)
+    {
+        obs::FrontierRound round;
+        round.round = static_cast<int>(frontierRounds_.size()) + 1;
+        round.strategy = strategyName(kind);
+        round.points = frontier_.points();
+        frontierRounds_.push_back(std::move(round));
+    }
 
     void
     stage2(const std::vector<PolyStmt> &base, DseResult &result)
@@ -649,142 +731,114 @@ class Engine
         for (auto &u : units)
             u.degree = 1;
 
+        StrategyContext ctx;
+        for (const auto &u : units) {
+            ctx.unitNames.push_back(unitNames(base, u));
+            std::vector<std::string> members;
+            for (size_t m : u.members)
+                members.push_back(base[m].sched.name);
+            ctx.unitMembers.push_back(std::move(members));
+            ctx.maxDegree.push_back(maxDegreeOf(base, u));
+        }
+        ctx.maxParallelism = opt_.maxParallelism;
+        ctx.device = device_;
+        ctx.beamWidth = opt_.beamWidth;
+        ctx.annealRounds = opt_.annealRounds;
+        ctx.annealBatch = opt_.annealBatch;
+        ctx.seed = opt_.annealSeed;
+        ctx.pointBudget = opt_.strategyPointBudget;
+        std::unique_ptr<SearchStrategy> strategy =
+            makeStrategy(opt_.strategy, std::move(ctx));
+
         int width = speculationWidth();
         support::ThreadPool *pool =
             width > 1 ? &support::ThreadPool::global() : nullptr;
         std::vector<std::future<Evaluation>> stale;
 
         // Evaluate the initial (pipeline-only) design.
-        Evaluation best = evaluate(base, units);
+        Evaluation init = evaluate(base, units);
         ++points_;
-        recordPoint("stage2-init", best.primitives, best.report,
+        recordPoint("stage2-init", init.primitives, init.report,
                     "accepted", "initial pipeline-only design");
         result.log.push_back("stage2: initial design " +
-                             best.report.str(device_));
+                             init.report.str(device_));
+        frontierInsert(init.report, init.primitives, points_);
+        strategy->begin(PointEval{init.report, init.primitives});
 
-        /** One planned step of a speculation round. */
-        struct Step
-        {
-            int unit = -1;
-            std::uint64_t latency = 0; ///< why it is the bottleneck
-            std::int64_t next = 0;     ///< trial parallelism degree
-            bool close = false;        ///< exit mechanism: max parallelism
-            std::future<Evaluation> pending;
-            bool speculated = false;
-        };
+        Recorder rec(*this, result);
+        auto unitsWith =
+            [&units](const std::vector<std::int64_t> &degrees) {
+                auto copy = units;
+                for (size_t i = 0; i < copy.size(); ++i)
+                    copy[i].degree = degrees[i];
+                return copy;
+            };
 
         while (true) {
-            // Plan the round: open units in sequential visiting order.
-            std::vector<Step> steps;
-            for (size_t ui = 0; ui < units.size(); ++ui) {
-                if (!units[ui].open)
-                    continue;
-                Step s;
-                s.unit = static_cast<int>(ui);
-                s.latency = unitLatency(best.report, base, units[ui]);
-                steps.push_back(std::move(s));
-            }
+            std::vector<StrategyStep> steps = strategy->plan();
             if (steps.empty())
-                break; // optimization list is empty
-            std::stable_sort(steps.begin(), steps.end(),
-                             [](const Step &a, const Step &b) {
-                                 return a.latency > b.latency;
-                             });
-
-            // Closes are free; trials consume speculation slots.
-            size_t taken = 0;
-            int trials = 0;
-            for (Step &s : steps) {
-                const Unit &unit = units[s.unit];
-                s.next = unit.degree * 2;
-                s.close = s.next > opt_.maxParallelism ||
-                          s.next > maxDegreeOf(base, unit);
-                ++taken;
-                if (!s.close && ++trials == width)
-                    break;
-            }
-            steps.resize(taken);
-
-            if (pool != nullptr) {
-                for (Step &s : steps) {
-                    if (s.close)
-                        continue;
-                    auto trial_units = units;
-                    trial_units[s.unit].degree = s.next;
-                    s.pending = pool->submit(
-                        [this, &base, tu = std::move(trial_units)]() {
-                            return evaluate(base, tu);
-                        });
-                    s.speculated = true;
-                }
-            }
-
-            // Consume strictly in order; stop at the first acceptance.
-            for (size_t si = 0; si < steps.size(); ++si) {
-                Step &s = steps[si];
-                Unit &unit = units[s.unit];
-                {
-                    obs::JournalEntry e;
-                    e.kind = "bottleneck";
-                    e.phase = "stage2";
-                    e.detail = "selected " + unitNames(base, unit) +
-                               " as bottleneck";
-                    e.latencyCycles = s.latency;
-                    e.verdict = "info";
-                    e.reason = "largest nest latency among open units";
-                    journal_.push_back(std::move(e));
-                }
-                if (s.close) {
-                    unit.open = false; // exit mechanism: max parallelism
-                    note("bottleneck", "stage2",
-                         "stage2: unit reached max parallelism, removed",
-                         result.log);
-                    continue;
-                }
-
-                Evaluation trial;
-                if (s.speculated) {
-                    trial = s.pending.get();
-                } else {
-                    auto trial_units = units;
-                    trial_units[s.unit].degree = s.next;
-                    trial = evaluate(base, trial_units);
-                }
-                ++points_;
-                if (!trial.report.resources.fitsIn(device_)) {
-                    recordPoint("stage2", trial.primitives, trial.report,
-                                "rejected", "exceeds resource budget");
-                    unit.open = false; // exit mechanism: resource bound
-                    result.log.push_back(
-                        "stage2: unit exceeds resource budget, removed");
-                    continue;
-                }
-                if (trial.report.latencyCycles >=
-                    best.report.latencyCycles) {
-                    recordPoint("stage2", trial.primitives, trial.report,
-                                "rejected", "no latency improvement");
-                    unit.open = false;
-                    result.log.push_back(
-                        "stage2: no latency improvement, removed");
-                    continue;
-                }
-                unit.degree = s.next;
-                best = std::move(trial);
-                recordPoint("stage2", best.primitives, best.report,
-                            "accepted", "latency improved");
-                result.log.push_back(
-                    "stage2: parallelism " + std::to_string(s.next) +
-                    " -> " + best.report.str(device_));
-
-                // The remaining speculations assumed this acceptance
-                // did not happen; park them and re-plan from the new
-                // best. Their results never reach the journal.
-                for (size_t sj = si + 1; sj < steps.size(); ++sj) {
-                    if (steps[sj].speculated)
-                        stale.push_back(std::move(steps[sj].pending));
-                }
                 break;
+
+            std::vector<std::future<Evaluation>> futures(steps.size());
+            std::vector<char> submitted(steps.size(), 0);
+            size_t next_submit = 0;
+            int outstanding = 0;
+            bool round_evaluated = false;
+
+            for (size_t si = 0; si < steps.size(); ++si) {
+                // Keep up to `width` speculative evaluations in flight.
+                if (pool != nullptr) {
+                    while (next_submit < steps.size() &&
+                           outstanding < width) {
+                        size_t sj = next_submit++;
+                        if (!steps[sj].needsEval)
+                            continue;
+                        auto trial_units = unitsWith(steps[sj].degrees);
+                        futures[sj] = pool->submit(
+                            [this, &base,
+                             tu = std::move(trial_units)]() {
+                                return evaluate(base, tu);
+                            });
+                        submitted[sj] = 1;
+                        ++outstanding;
+                    }
+                }
+
+                const StrategyStep &s = steps[si];
+                PointEval pe;
+                bool have = false;
+                if (s.needsEval) {
+                    Evaluation ev;
+                    if (submitted[si]) {
+                        ev = futures[si].get();
+                        --outstanding;
+                    } else {
+                        ev = evaluate(base, unitsWith(s.degrees));
+                    }
+                    pe.report = std::move(ev.report);
+                    pe.primitives = std::move(ev.primitives);
+                    have = true;
+                    ++points_;
+                    round_evaluated = true;
+                }
+                bool keep_going =
+                    strategy->consume(si, s, have ? &pe : nullptr, rec);
+                if (have)
+                    frontierInsert(pe.report, pe.primitives, points_);
+                if (!keep_going) {
+                    // The remaining speculations assumed this round
+                    // continued unchanged; park them for draining.
+                    // Their results never reach the journal.
+                    for (size_t sj = si + 1; sj < steps.size(); ++sj) {
+                        if (submitted[sj])
+                            stale.push_back(std::move(futures[sj]));
+                    }
+                    break;
+                }
             }
+            strategy->endRound(rec);
+            if (round_evaluated)
+                snapshotFrontier(strategy->kind());
         }
 
         // Settle abandoned speculative work before the final
@@ -795,10 +849,17 @@ class Engine
         // Materialize the winning design (also rewrites partitions).
         // Its estimate was stored by the search, so with memoization on
         // this is always an estimator-cache hit.
+        std::vector<std::int64_t> degrees = strategy->result();
+        POM_ASSERT(degrees.size() == units.size(),
+                   "strategy returned a malformed degree vector");
+        for (size_t i = 0; i < units.size(); ++i)
+            units[i].degree = degrees[i];
         Candidate winner = materialize(base, units);
         ++points_;
         recordPoint("final", winner.primitives, winner.report, "accepted",
                     "selected design");
+        frontierInsert(winner.report, winner.primitives, points_);
+        snapshotFrontier(strategy->kind());
         result.design = std::move(winner.design);
         result.report = std::move(winner.report);
         for (const auto &u : units) {
@@ -866,22 +927,6 @@ class Engine
             out += "]:cyclic";
         }
         return out;
-    }
-
-    /** Latency attributed to a unit in the last report. */
-    static std::uint64_t
-    unitLatency(const hls::SynthesisReport &report,
-                const std::vector<PolyStmt> &base, const Unit &unit)
-    {
-        std::uint64_t lat = 0;
-        for (size_t m : unit.members) {
-            const std::string &name = base[m].sched.name;
-            for (const auto &[nest, cycles] : report.nestLatencies) {
-                if (nest == name)
-                    lat = std::max(lat, cycles);
-            }
-        }
-        return lat;
     }
 
     /** Product of free-level trip counts bounds the parallelism. */
@@ -1081,6 +1126,8 @@ class Engine
     int points_ = 0;
     int verified_ = 0;
     std::vector<obs::JournalEntry> journal_;
+    ParetoFrontier frontier_;
+    std::vector<obs::FrontierRound> frontierRounds_;
 };
 
 } // namespace

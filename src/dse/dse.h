@@ -28,6 +28,8 @@
 #include "hls/estimator.h"
 #include "lower/lower.h"
 #include "obs/journal.h"
+#include "dse/pareto.h"
+#include "dse/strategy.h"
 
 namespace pom::dse {
 
@@ -86,6 +88,29 @@ struct DseOptions
      * lowering and estimation. Ignored when verifyEachPoint is set.
      */
     bool memoize = true;
+
+    /**
+     * Which stage-2 search driver explores the design space (`pomc
+     * --strategy`). All three maintain the same Pareto frontier and
+     * produce byte-identical journals at any worker count; greedy is
+     * the paper's bottleneck walk and selects the same final design it
+     * always has.
+     */
+    StrategyKind strategy = StrategyKind::Greedy;
+
+    /** Beam width of StrategyKind::Beam. */
+    int beamWidth = 4;
+
+    /** Annealing schedule of StrategyKind::Anneal. */
+    int annealRounds = 16;
+    int annealBatch = 4;
+    unsigned annealSeed = 1;
+
+    /**
+     * Evaluation budget for the population strategies (beam/anneal);
+     * greedy's walk is self-terminating and ignores it.
+     */
+    int strategyPointBudget = 192;
 };
 
 /** Outcome of a DSE run. */
@@ -123,6 +148,20 @@ struct DseResult
      * the process-wide obs::journal() when obs::journalEnabled().
      */
     std::vector<obs::JournalEntry> journal;
+
+    /**
+     * The final Pareto frontier over (latency_cycles, dsp, bram_bits,
+     * lut) across every feasible point the search estimated, in
+     * canonical order (see dse/pareto.h).
+     */
+    std::vector<FrontierPoint> frontier;
+
+    /**
+     * Per-round frontier snapshots (the pom-dse-journal/v2 "frontier"
+     * sections; serialize with obs::journalJsonV2). The last round is
+     * always the final frontier.
+     */
+    std::vector<obs::FrontierRound> frontierRounds;
 
     /** latency(baseline) / latency(best). */
     double speedup() const;

@@ -1,0 +1,63 @@
+#include "dse/pareto.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace pom::dse {
+
+namespace {
+
+/** Canonical sort key: objectives lexicographically, then primitives.
+ *  The point id is deliberately excluded -- it numbers the estimation
+ *  order, which must not influence the canonical set order. */
+auto
+key(const FrontierPoint &p)
+{
+    return std::tie(p.latencyCycles, p.dsp, p.bramBits, p.lut,
+                    p.primitives);
+}
+
+bool
+sameObjectives(const FrontierPoint &a, const FrontierPoint &b)
+{
+    return a.latencyCycles == b.latencyCycles && a.dsp == b.dsp &&
+           a.bramBits == b.bramBits && a.lut == b.lut;
+}
+
+} // namespace
+
+bool
+dominates(const FrontierPoint &a, const FrontierPoint &b)
+{
+    if (a.latencyCycles > b.latencyCycles || a.dsp > b.dsp ||
+        a.bramBits > b.bramBits || a.lut > b.lut) {
+        return false;
+    }
+    return a.latencyCycles < b.latencyCycles || a.dsp < b.dsp ||
+           a.bramBits < b.bramBits || a.lut < b.lut;
+}
+
+ParetoFrontier::Insert
+ParetoFrontier::insert(const FrontierPoint &p)
+{
+    for (const FrontierPoint &m : points_) {
+        if (dominates(m, p))
+            return Insert::Dominated;
+        if (sameObjectives(m, p) && m.primitives == p.primitives)
+            return Insert::Duplicate;
+    }
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [&p](const FrontierPoint &m) {
+                                     return dominates(p, m);
+                                 }),
+                  points_.end());
+    points_.insert(std::upper_bound(points_.begin(), points_.end(), p,
+                                    [](const FrontierPoint &a,
+                                       const FrontierPoint &b) {
+                                        return key(a) < key(b);
+                                    }),
+                  p);
+    return Insert::Added;
+}
+
+} // namespace pom::dse

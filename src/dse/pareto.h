@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The Pareto frontier the multi-objective DSE maintains over every
+ * feasible design point it estimates. Objectives, all minimized:
+ *
+ *   (latency_cycles, DSP, BRAM bits, LUT)
+ *
+ * where LUT stands in for the linear power proxy (hls::powerProxyW is
+ * monotone in every resource, and LUT is its only term the other
+ * objectives do not already cover).
+ *
+ * Dominance is strict Pareto dominance: a dominates b iff a is no worse
+ * in every objective and strictly better in at least one. Points with
+ * identical objectives but different primitives are incomparable and
+ * may coexist on the frontier. The final set is therefore a pure
+ * function of the *set* of inserted points -- insertion order never
+ * matters -- which the property suite (tests/dse_frontier_test.cpp)
+ * checks over randomized insertion sequences.
+ */
+
+#ifndef POM_DSE_PARETO_H
+#define POM_DSE_PARETO_H
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/journal.h"
+
+namespace pom::dse {
+
+/** A frontier member (journal point id + primitives + objectives). */
+using FrontierPoint = obs::FrontierPoint;
+
+/** True iff @p a strictly Pareto-dominates @p b. */
+bool dominates(const FrontierPoint &a, const FrontierPoint &b);
+
+/**
+ * A Pareto frontier with dominance insertion/pruning. Members are kept
+ * in a canonical order (objectives lexicographically, then primitives)
+ * so two frontiers holding the same set compare and serialize
+ * identically regardless of how they were built.
+ */
+class ParetoFrontier
+{
+  public:
+    /** What insert() did with the offered point. */
+    enum class Insert
+    {
+        Added,     ///< joined the frontier (dominated members pruned)
+        Dominated, ///< strictly dominated by a member; no-op
+        Duplicate, ///< already present (same objectives + primitives)
+    };
+
+    Insert insert(const FrontierPoint &p);
+
+    /** Members in canonical order. */
+    const std::vector<FrontierPoint> &points() const { return points_; }
+
+    size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+    void clear() { points_.clear(); }
+
+  private:
+    std::vector<FrontierPoint> points_;
+};
+
+} // namespace pom::dse
+
+#endif // POM_DSE_PARETO_H

@@ -121,6 +121,20 @@ struct Resources
     }
 };
 
+/**
+ * The linear power proxy over used resources (the paper reports power
+ * from the Vivado report; this analytical stand-in is what
+ * SynthesisReport::powerW carries and what the multi-objective DSE
+ * minimizes through its LUT term). Shared by the estimator and the
+ * Pareto-frontier tooling so both always agree.
+ */
+inline double
+powerProxyW(const Resources &r)
+{
+    return 0.05 + r.dsp * 2.0e-3 + r.ff * 3.5e-6 + r.lut * 4.5e-6 +
+           r.bramBits * 2.0e-8;
+}
+
 } // namespace pom::hls
 
 #endif // POM_HLS_DEVICE_H

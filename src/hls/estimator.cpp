@@ -239,10 +239,7 @@ class Estimator
                 report.resources.bramBits += ai.bits;
         }
 
-        report.powerW = 0.05 + report.resources.dsp * 2.0e-3 +
-                        report.resources.ff * 3.5e-6 +
-                        report.resources.lut * 4.5e-6 +
-                        report.resources.bramBits * 2.0e-8;
+        report.powerW = powerProxyW(report.resources);
         report.loops = loop_reports_;
         return report;
     }

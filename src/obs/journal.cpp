@@ -256,13 +256,106 @@ parseJournalEntry(JsonScanner &s, JournalEntry &e)
     }
 }
 
-} // namespace
-
-std::string
-journalJson(const std::vector<JournalEntry> &entries)
+bool
+parseFrontierPoint(JsonScanner &s, FrontierPoint &p)
 {
-    std::ostringstream os;
-    os << "{\"schema\": \"pom-dse-journal/v1\", \"events\": [";
+    if (!s.consume('{'))
+        return false;
+    if (s.peek('}')) {
+        ++s.pos_;
+        return true;
+    }
+    while (true) {
+        std::string key;
+        if (!s.parseString(key) || !s.consume(':'))
+            return false;
+        bool ok;
+        std::int64_t v = 0;
+        if (key == "primitives") {
+            ok = s.parseString(p.primitives);
+        } else if (key == "point") {
+            ok = s.parseInt(v);
+            p.point = static_cast<int>(v);
+        } else if (key == "latency_cycles") {
+            ok = s.parseInt(v);
+            p.latencyCycles = static_cast<std::uint64_t>(v);
+        } else if (key == "dsp") {
+            ok = s.parseInt(p.dsp);
+        } else if (key == "bram_bits") {
+            ok = s.parseInt(p.bramBits);
+        } else if (key == "lut") {
+            ok = s.parseInt(p.lut);
+        } else {
+            ok = s.skipValue();
+        }
+        if (!ok)
+            return false;
+        if (s.peek(',')) {
+            ++s.pos_;
+            continue;
+        }
+        return s.consume('}');
+    }
+}
+
+bool
+parseFrontierRound(JsonScanner &s, FrontierRound &r)
+{
+    if (!s.consume('{'))
+        return false;
+    if (s.peek('}')) {
+        ++s.pos_;
+        return true;
+    }
+    while (true) {
+        std::string key;
+        if (!s.parseString(key) || !s.consume(':'))
+            return false;
+        bool ok = true;
+        if (key == "round") {
+            std::int64_t v = 0;
+            ok = s.parseInt(v);
+            r.round = static_cast<int>(v);
+        } else if (key == "strategy") {
+            ok = s.parseString(r.strategy);
+        } else if (key == "points") {
+            if (!s.consume('['))
+                return false;
+            if (s.peek(']')) {
+                ++s.pos_;
+            } else {
+                while (true) {
+                    FrontierPoint p;
+                    if (!parseFrontierPoint(s, p))
+                        return false;
+                    r.points.push_back(std::move(p));
+                    if (s.peek(',')) {
+                        ++s.pos_;
+                        continue;
+                    }
+                    if (!s.consume(']'))
+                        return false;
+                    break;
+                }
+            }
+        } else {
+            ok = s.skipValue();
+        }
+        if (!ok)
+            return false;
+        if (s.peek(',')) {
+            ++s.pos_;
+            continue;
+        }
+        return s.consume('}');
+    }
+}
+
+void
+appendEvents(std::ostringstream &os,
+             const std::vector<JournalEntry> &entries)
+{
+    os << "\"events\": [";
     bool first = true;
     for (const auto &e : entries) {
         if (!first)
@@ -281,6 +374,50 @@ journalJson(const std::vector<JournalEntry> &entries)
            << ", \"verdict\": \"" << jsonEscape(e.verdict)
            << "\", \"reason\": \"" << jsonEscape(e.reason) << "\"}";
     }
+    os << "\n]";
+}
+
+} // namespace
+
+std::string
+journalJson(const std::vector<JournalEntry> &entries)
+{
+    std::ostringstream os;
+    os << "{\"schema\": \"pom-dse-journal/v1\", ";
+    appendEvents(os, entries);
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+journalJsonV2(const std::vector<JournalEntry> &entries,
+              const std::vector<FrontierRound> &rounds)
+{
+    std::ostringstream os;
+    os << "{\"schema\": \"pom-dse-journal/v2\", ";
+    appendEvents(os, entries);
+    os << ",\n\"frontier\": [";
+    bool first_round = true;
+    for (const auto &r : rounds) {
+        if (!first_round)
+            os << ",";
+        first_round = false;
+        os << "\n  {\"round\": " << r.round << ", \"strategy\": \""
+           << jsonEscape(r.strategy) << "\", \"points\": [";
+        bool first_point = true;
+        for (const auto &p : r.points) {
+            if (!first_point)
+                os << ",";
+            first_point = false;
+            os << "\n    {\"point\": " << p.point
+               << ", \"primitives\": \"" << jsonEscape(p.primitives)
+               << "\", \"latency_cycles\": " << p.latencyCycles
+               << ", \"dsp\": " << p.dsp
+               << ", \"bram_bits\": " << p.bramBits
+               << ", \"lut\": " << p.lut << "}";
+        }
+        os << "\n  ]}";
+    }
     os << "\n]}\n";
     return os.str();
 }
@@ -289,7 +426,16 @@ bool
 parseJournalJson(const std::string &text, std::vector<JournalEntry> &out,
                  std::string &error)
 {
+    std::vector<FrontierRound> rounds;
+    return parseJournalJson(text, out, rounds, error);
+}
+
+bool
+parseJournalJson(const std::string &text, std::vector<JournalEntry> &out,
+                 std::vector<FrontierRound> &rounds, std::string &error)
+{
     out.clear();
+    rounds.clear();
     error.clear();
     JsonScanner s(text, error);
     if (!s.consume('{'))
@@ -304,11 +450,32 @@ parseJournalJson(const std::string &text, std::vector<JournalEntry> &out,
             std::string schema;
             if (!s.parseString(schema))
                 return false;
-            if (schema != "pom-dse-journal/v1") {
+            if (schema != "pom-dse-journal/v1" &&
+                schema != "pom-dse-journal/v2") {
                 error = "unsupported schema '" + schema + "'";
                 return false;
             }
             saw_schema = true;
+        } else if (key == "frontier") {
+            if (!s.consume('['))
+                return false;
+            if (s.peek(']')) {
+                ++s.pos_;
+            } else {
+                while (true) {
+                    FrontierRound r;
+                    if (!parseFrontierRound(s, r))
+                        return false;
+                    rounds.push_back(std::move(r));
+                    if (s.peek(',')) {
+                        ++s.pos_;
+                        continue;
+                    }
+                    if (!s.consume(']'))
+                        return false;
+                    break;
+                }
+            }
         } else if (key == "events") {
             if (!s.consume('['))
                 return false;

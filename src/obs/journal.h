@@ -19,6 +19,12 @@
  * without per-kind special cases; tests pin the schema with a golden
  * file. Entries contain no wall-clock values — a journal for a given
  * workload is bit-reproducible.
+ *
+ * Schema "pom-dse-journal/v2" is a strict superset of v1: the same
+ * "events" array (byte-identical records) plus a "frontier" array with
+ * one section per stage-2 search round, each holding the Pareto
+ * frontier over (latency_cycles, dsp, bram_bits, lut) after that
+ * round. v1 documents remain parseable; the parser accepts both.
  */
 
 #ifndef POM_OBS_JOURNAL_H
@@ -57,18 +63,57 @@ struct JournalEntry
     std::string reason;  ///< why the verdict was reached
 };
 
+/**
+ * One point on a Pareto frontier snapshot: the journal point id it was
+ * estimated as, its primitives summary, and the four objectives the
+ * multi-objective DSE minimizes (latency, DSP, BRAM bits, and LUTs as
+ * the linear power proxy's dominant resource term).
+ */
+struct FrontierPoint
+{
+    int point = -1;
+    std::string primitives;
+    std::uint64_t latencyCycles = 0;
+    std::int64_t dsp = 0;
+    std::int64_t bramBits = 0;
+    std::int64_t lut = 0;
+};
+
+/** The frontier after one stage-2 search round (a v2 journal section). */
+struct FrontierRound
+{
+    int round = 0;        ///< 1-based round counter
+    std::string strategy; ///< "greedy" | "beam" | "anneal"
+    std::vector<FrontierPoint> points;
+};
+
 /** Serialize entries as the pom-dse-journal/v1 JSON document. */
 std::string journalJson(const std::vector<JournalEntry> &entries);
 
 /**
- * Parse a pom-dse-journal/v1 document back into entries (the inverse
- * of journalJson; what `pomc --replay-journal` loads). Unknown keys
- * are ignored so minor-version documents stay readable. Returns false
- * -- with @p error describing the first problem -- on malformed input
- * or a wrong schema tag.
+ * Serialize entries plus per-round frontier snapshots as the
+ * pom-dse-journal/v2 JSON document. The "events" array is byte-for-byte
+ * what journalJson emits for the same entries.
+ */
+std::string journalJsonV2(const std::vector<JournalEntry> &entries,
+                          const std::vector<FrontierRound> &rounds);
+
+/**
+ * Parse a pom-dse-journal/v1 or /v2 document back into entries (the
+ * inverse of journalJson; what `pomc --replay-journal` loads). Unknown
+ * keys are ignored so minor-version documents stay readable. Returns
+ * false -- with @p error describing the first problem -- on malformed
+ * input or a wrong schema tag.
  */
 bool parseJournalJson(const std::string &text,
                       std::vector<JournalEntry> &out, std::string &error);
+
+/** As above, additionally capturing the v2 frontier sections (empty
+ *  for a v1 document). */
+bool parseJournalJson(const std::string &text,
+                      std::vector<JournalEntry> &out,
+                      std::vector<FrontierRound> &rounds,
+                      std::string &error);
 
 /** Thread-safe process-wide journal collector. */
 class SearchJournal

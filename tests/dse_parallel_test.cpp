@@ -197,6 +197,10 @@ struct SweepRow
     std::int64_t size = 0;
     int points = 0;
     std::uint64_t latency = 0;
+
+    /** Final Pareto frontier (objectives only; ids/primitives vary
+     *  freely without being a regression). */
+    std::vector<dse::FrontierPoint> frontier;
 };
 
 /** Pinned sweep configuration: every registered workload. The DNNs get
@@ -232,6 +236,7 @@ TEST(DseSweepGolden, NoWorkloadRegresses)
         row.size = sizes[i];
         row.points = res.pointsExplored;
         row.latency = res.report.latencyCycles;
+        row.frontier = res.frontier;
         got.push_back(std::move(row));
     }
 
@@ -240,10 +245,17 @@ TEST(DseSweepGolden, NoWorkloadRegresses)
     if (std::getenv("POM_UPDATE_EXPECTED") != nullptr) {
         std::ofstream out(path);
         ASSERT_TRUE(out.good()) << "cannot write " << path;
-        out << "# workload size points_explored latency_cycles\n";
+        out << "# workload size points_explored latency_cycles\n"
+            << "# frontier workload size latency_cycles dsp bram_bits "
+               "lut\n";
         for (const auto &r : got) {
             out << r.workload << " " << r.size << " " << r.points << " "
                 << r.latency << "\n";
+            for (const auto &p : r.frontier) {
+                out << "frontier " << r.workload << " " << r.size << " "
+                    << p.latencyCycles << " " << p.dsp << " "
+                    << p.bramBits << " " << p.lut << "\n";
+            }
         }
         GTEST_SKIP() << "updated " << path;
     }
@@ -257,10 +269,32 @@ TEST(DseSweepGolden, NoWorkloadRegresses)
     while (std::getline(in, line)) {
         if (line.empty() || line[0] == '#')
             continue;
-        SweepRow r;
         std::istringstream ls(line);
-        ASSERT_TRUE(static_cast<bool>(ls >> r.workload >> r.size >>
-                                      r.points >> r.latency))
+        std::string first;
+        ls >> first;
+        if (first == "frontier") {
+            // A committed frontier point of the preceding workload row.
+            std::string workload;
+            std::int64_t size = 0;
+            dse::FrontierPoint p;
+            ASSERT_TRUE(static_cast<bool>(ls >> workload >> size >>
+                                          p.latencyCycles >> p.dsp >>
+                                          p.bramBits >> p.lut))
+                << "malformed golden line: " << line;
+            SweepRow *owner = nullptr;
+            for (auto &row : expected) {
+                if (row.workload == workload && row.size == size)
+                    owner = &row;
+            }
+            ASSERT_NE(owner, nullptr)
+                << "frontier line before its workload row: " << line;
+            owner->frontier.push_back(std::move(p));
+            continue;
+        }
+        SweepRow r;
+        r.workload = first;
+        ASSERT_TRUE(
+            static_cast<bool>(ls >> r.size >> r.points >> r.latency))
             << "malformed golden line: " << line;
         expected.push_back(std::move(r));
     }
@@ -292,6 +326,23 @@ TEST(DseSweepGolden, NoWorkloadRegresses)
                         static_cast<unsigned long long>(e->latency),
                         static_cast<unsigned long long>(g.latency),
                         e->points, g.points);
+        }
+
+        // The frontier-dominance gate: no committed frontier point may
+        // become dominated by the new output. A trade-off the search
+        // once discovered must never silently get strictly worse.
+        for (const auto &want : e->frontier) {
+            for (const auto &have : g.frontier) {
+                EXPECT_FALSE(dse::dominates(have, want))
+                    << g.workload << ": committed frontier point ("
+                    << want.latencyCycles << ", " << want.dsp << ", "
+                    << want.bramBits << ", " << want.lut
+                    << ") is dominated by new point ("
+                    << have.latencyCycles << ", " << have.dsp << ", "
+                    << have.bramBits << ", " << have.lut
+                    << "); regenerate with POM_UPDATE_EXPECTED=1 only "
+                       "if this trade-off is intentional";
+            }
         }
     }
 }

@@ -4,9 +4,10 @@
  *
  * Usage:
  *   pomc <workload> [size] [--dse] [--framework pom|scalehls|polsca|
- *        pluto|none] [--resources FRACTION] [--jobs N] [--emit] [--ast]
- *        [--dsl] [--verify] [--fuzz N] [--seed S] [--timing]
- *        [--trace-out FILE] [--metrics-out FILE] [--dse-journal FILE]
+ *        pluto|none] [--strategy greedy|beam|anneal] [--resources
+ *        FRACTION] [--jobs N] [--emit] [--ast] [--dsl] [--verify]
+ *        [--fuzz N] [--seed S] [--timing] [--trace-out FILE]
+ *        [--metrics-out FILE] [--dse-journal FILE] [--frontier-out FILE]
  *        [--replay-journal FILE --point ID] [--quiet|-q] [--verbose|-v]
  *
  * Compiles one of the built-in benchmark workloads (see `pomc --list`)
@@ -39,6 +40,16 @@
  *                       applied primitives, estimated latency, resource
  *                       usage and accept/reject verdict, plus stage-1
  *                       decisions and stage-2 bottleneck selections.
+ *   --frontier-out FILE write the pom-dse-journal/v2 document: the same
+ *                       events plus the per-round Pareto frontier over
+ *                       (latency, DSP, BRAM, LUT). Requires a POM DSE
+ *                       run (--dse / --framework pom).
+ *
+ * Search strategy (src/dse/strategy.h):
+ *   --strategy NAME     stage-2 search driver: greedy (the paper's
+ *                       bottleneck walk, the default), beam, or anneal.
+ *                       All three record the same journal schema and
+ *                       are byte-deterministic at any --jobs count.
  *   -q / --quiet        errors only; -v / --verbose: debug diagnostics.
  *
  * Parallel search (src/support/thread_pool.h):
@@ -101,10 +112,11 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s <workload> [size] [--dse] "
                  "[--framework pom|scalehls|polsca|pluto|none] "
+                 "[--strategy greedy|beam|anneal] "
                  "[--resources FRACTION] [--jobs N] [--emit] [--ast] "
                  "[--dsl] [--verify] [--fuzz N] [--seed S] [--timing] "
                  "[--trace-out FILE] [--metrics-out FILE] "
-                 "[--dse-journal FILE] "
+                 "[--dse-journal FILE] [--frontier-out FILE] "
                  "[--replay-journal FILE --point ID] "
                  "[--quiet|-q] [--verbose|-v]\n"
                  "       %s --list\n",
@@ -155,9 +167,21 @@ main(int argc, char **argv)
     int fuzz_cases = 0;
     unsigned seed = 1;
     std::string trace_out = obs::traceEnvPath();
-    std::string metrics_out, journal_out;
+    std::string metrics_out, journal_out, frontier_out;
     std::string replay_journal;
     int replay_point = -1;
+    dse::StrategyKind strategy = dse::StrategyKind::Greedy;
+
+    // --strategy is accepted both space- and '='-separated; an unknown
+    // name is a hard error (never a silent fallback to greedy).
+    auto parse_strategy = [&strategy](const std::string &text) {
+        if (!dse::parseStrategy(text, strategy)) {
+            std::fprintf(stderr,
+                         "pomc: unknown --strategy '%s' (valid: %s)\n",
+                         text.c_str(), dse::strategyNames().c_str());
+            std::exit(2);
+        }
+    };
 
     for (int a = 1; a < argc; ++a) {
         std::string arg = argv[a];
@@ -171,6 +195,12 @@ main(int argc, char **argv)
             metrics_out = argv[++a];
         } else if (arg == "--dse-journal" && a + 1 < argc) {
             journal_out = argv[++a];
+        } else if (arg == "--frontier-out" && a + 1 < argc) {
+            frontier_out = argv[++a];
+        } else if (arg == "--strategy" && a + 1 < argc) {
+            parse_strategy(argv[++a]);
+        } else if (arg.rfind("--strategy=", 0) == 0) {
+            parse_strategy(arg.substr(std::string("--strategy=").size()));
         } else if (arg == "--replay-journal" && a + 1 < argc) {
             replay_journal = argv[++a];
         } else if (arg == "--point" && a + 1 < argc) {
@@ -380,6 +410,13 @@ main(int argc, char **argv)
         auto w = workloads::makeByName(name, size);
         baselines::BaselineOptions opt;
         opt.resourceFraction = fraction;
+        opt.strategy = strategy;
+
+        if (!frontier_out.empty() && framework != "pom") {
+            std::fprintf(stderr, "pomc: --frontier-out requires a POM "
+                                 "DSE run (--dse or --framework pom)\n");
+            return 2;
+        }
 
         baselines::BaselineResult result;
         if (framework == "pom") {
@@ -394,6 +431,15 @@ main(int argc, char **argv)
             result = baselines::runUnoptimized(w->func(), opt);
         } else {
             return usage(argv[0]);
+        }
+
+        if (!frontier_out.empty() &&
+            !obs::writeFile(frontier_out,
+                            obs::journalJsonV2(result.journal,
+                                               result.frontierRounds))) {
+            std::fprintf(stderr, "pomc: cannot write '%s'\n",
+                         frontier_out.c_str());
+            return 1;
         }
 
         auto device = hls::Device::xc7z020().scaled(fraction);
