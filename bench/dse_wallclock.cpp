@@ -27,6 +27,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <future>
 #include <string>
 #include <thread>
@@ -223,6 +224,62 @@ main()
         gauge("strategy." + sname + ".seconds", secs);
         gauge("strategy." + sname + ".hit_rate", shit_rate);
     }
+
+    // 5. Disk-warm start: spill the cold sweep's cache, drop it, load
+    // the spill back (a daemon restart / `pomc --cache-dir` re-run)
+    // and measure the sweep against the disk-loaded entries.
+    std::printf("\ndisk-warm sweep (estimator-cache spill):\n");
+    const std::string spill_dir = "BENCH_dse_cache";
+    std::filesystem::remove_all(spill_dir);
+    cache.clear();
+    std::uint64_t sumD = 0;
+    double disk_cold = runSweep(1, sumD);
+    hls::SpillStats save_stats;
+    std::string spill_error;
+    Clock::time_point t_save = Clock::now();
+    if (!cache.saveDir(spill_dir, save_stats, spill_error)) {
+        std::fprintf(stderr, "FATAL: cache spill failed: %s\n",
+                     spill_error.c_str());
+        return 1;
+    }
+    double save_secs = seconds(t_save);
+    cache.clear();
+    hls::SpillStats load_stats;
+    Clock::time_point t_load = Clock::now();
+    if (!cache.loadDir(spill_dir, load_stats, spill_error)) {
+        std::fprintf(stderr, "FATAL: cache load failed: %s\n",
+                     spill_error.c_str());
+        return 1;
+    }
+    double load_secs = seconds(t_load);
+    std::uint64_t dhits0 = cache.hits(), dmisses0 = cache.misses();
+    std::uint64_t sumD2 = 0;
+    double disk_warm = runSweep(1, sumD2);
+    if (sumD2 != sumD) {
+        std::fprintf(stderr, "FATAL: disk-warm sweep checksum "
+                             "diverged\n");
+        return 1;
+    }
+    std::uint64_t dhits = cache.hits() - dhits0;
+    std::uint64_t dmisses = cache.misses() - dmisses0;
+    double dhit_rate = dhits + dmisses > 0
+                           ? static_cast<double>(dhits) /
+                                 static_cast<double>(dhits + dmisses)
+                           : 0.0;
+    double disk_speedup = disk_warm > 0.0 ? disk_cold / disk_warm : 0.0;
+    std::printf("  spill:  %zu entries written in %.3f s, "
+                "loaded %zu in %.3f s\n",
+                save_stats.written, save_secs, load_stats.loaded,
+                load_secs);
+    std::printf("  sweep from disk-warm cache: %7.3f s  (%.2fx, "
+                "hit rate %.0f%%)\n",
+                disk_warm, disk_speedup, 100.0 * dhit_rate);
+    gauge("spill.entries", static_cast<double>(save_stats.written));
+    gauge("spill.save_seconds", save_secs);
+    gauge("spill.load_seconds", load_secs);
+    gauge("spill.warm_seconds", disk_warm);
+    gauge("spill.warm_speedup", disk_speedup);
+    gauge("spill.hit_rate", dhit_rate);
 
     if (!json.empty())
         std::printf("\nwrote %s\n", json.c_str());

@@ -1,6 +1,18 @@
 #include "hls/estimator_cache.h"
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+
+#include <unistd.h>
+
+#include "support/diagnostics.h"
+#include "support/string_util.h"
+#include "support/version.h"
 
 namespace pom::hls {
 
@@ -68,6 +80,267 @@ designFingerprint(const std::string &funcDigest,
     return os.str();
 }
 
+// ----- on-disk spill format ----------------------------------------------
+
+namespace {
+
+std::uint64_t
+fnv1a64(const char *data, std::size_t size, std::uint64_t hash)
+{
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= static_cast<unsigned char>(data[i]);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+    return buf;
+}
+
+/** The first line of every entry and index file. */
+std::string
+formatHeader()
+{
+    return std::string(support::kCacheFormatName) + " " +
+           support::kVersionString + "\n";
+}
+
+/** Cursor over the entry text: strict line-oriented reads. */
+struct EntryReader
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error.empty())
+            error = what + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    /** Read up to the next '\n' (consumed, not returned). */
+    bool
+    line(std::string &out)
+    {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            return fail("truncated entry (missing newline)");
+        out = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        return true;
+    }
+
+    /** Read exactly @p n raw bytes plus a trailing '\n'. */
+    bool
+    raw(std::size_t n, std::string &out)
+    {
+        if (pos + n + 1 > text.size() || text[pos + n] != '\n')
+            return fail("truncated raw block");
+        out = text.substr(pos, n);
+        pos += n + 1;
+        return true;
+    }
+};
+
+bool
+scanU64(const std::string &line, const char *fmt, std::uint64_t &out)
+{
+    return std::sscanf(line.c_str(), fmt, &out) == 1;
+}
+
+} // namespace
+
+std::string
+cacheEntryHash(const std::string &key)
+{
+    return hex16(fnv1a64(key.data(), key.size(), kFnvOffset));
+}
+
+std::string
+encodeCacheEntry(const std::string &key, const SynthesisReport &report)
+{
+    std::ostringstream os;
+    os << formatHeader();
+    os << "key " << key.size() << "\n" << key << "\n";
+    char power[64];
+    std::snprintf(power, sizeof(power), "%a", report.powerW);
+    os << "report latency=" << report.latencyCycles
+       << " dsp=" << report.resources.dsp
+       << " lut=" << report.resources.lut
+       << " ff=" << report.resources.ff
+       << " bram=" << report.resources.bramBits << " power=" << power
+       << "\n";
+    os << "loops " << report.loops.size() << "\n";
+    for (const auto &l : report.loops) {
+        os << "loop " << l.iterName.size() << ":" << l.iterName
+           << " trip=" << l.trip
+           << " target=" << (l.targetII ? std::to_string(*l.targetII)
+                                        : std::string("none"))
+           << " achieved=" << l.achievedII << " latency=" << l.latency
+           << " rec=" << l.recMII << " res=" << l.resMII << "\n";
+    }
+    os << "nests " << report.nestLatencies.size() << "\n";
+    for (const auto &[name, cycles] : report.nestLatencies)
+        os << "nest " << name.size() << ":" << name << " " << cycles
+           << "\n";
+    std::string body = os.str();
+    return body + "sum " +
+           hex16(fnv1a64(body.data(), body.size(), kFnvOffset)) + "\n";
+}
+
+namespace {
+
+/** Parse "<len>:<name>" at the front of @p rest; true on success. */
+bool
+splitNamed(const std::string &rest, std::string &name, std::string &tail)
+{
+    std::size_t colon = rest.find(':');
+    if (colon == std::string::npos)
+        return false;
+    std::int64_t n = 0;
+    if (!support::parseInt64(rest.substr(0, colon), n) || n < 0 ||
+        colon + 1 + static_cast<std::size_t>(n) > rest.size()) {
+        return false;
+    }
+    name = rest.substr(colon + 1, static_cast<std::size_t>(n));
+    tail = rest.substr(colon + 1 + static_cast<std::size_t>(n));
+    return true;
+}
+
+} // namespace
+
+bool
+decodeCacheEntry(const std::string &text, std::string &key,
+                 SynthesisReport &report, std::string &error)
+{
+    error.clear();
+    report = SynthesisReport();
+
+    // Checksum first: everything before the final "sum " line.
+    std::size_t sum_at = text.rfind("sum ");
+    if (sum_at == std::string::npos || sum_at == 0 ||
+        text[sum_at - 1] != '\n') {
+        error = "missing checksum line";
+        return false;
+    }
+    std::string want = hex16(fnv1a64(text.data(), sum_at, kFnvOffset));
+    std::string got = text.substr(sum_at + 4);
+    while (!got.empty() && (got.back() == '\n' || got.back() == '\r'))
+        got.pop_back();
+    if (got != want) {
+        error = "checksum mismatch (corrupt entry)";
+        return false;
+    }
+
+    EntryReader r{text};
+    std::string ln;
+    if (!r.line(ln)) {
+        error = r.error;
+        return false;
+    }
+    std::string expect_header = formatHeader();
+    expect_header.pop_back(); // the '\n' the reader consumed
+    if (ln != expect_header) {
+        error = "cache format/version mismatch: entry says '" + ln +
+                "', this build is '" + expect_header + "'";
+        return false;
+    }
+
+    auto fail = [&](const std::string &what) {
+        error = r.error.empty() ? what : r.error;
+        return false;
+    };
+
+    if (!r.line(ln) || ln.rfind("key ", 0) != 0)
+        return fail("missing key line");
+    std::int64_t key_len = 0;
+    if (!support::parseInt64(ln.substr(4), key_len) || key_len < 0)
+        return fail("malformed key length");
+    if (!r.raw(static_cast<std::size_t>(key_len), key))
+        return fail("truncated key");
+
+    if (!r.line(ln) || ln.rfind("report ", 0) != 0)
+        return fail("missing report line");
+    char power[64] = {0};
+    unsigned long long latency = 0;
+    long long bram = 0;
+    if (std::sscanf(ln.c_str(),
+                    "report latency=%llu dsp=%d lut=%d ff=%d "
+                    "bram=%lld power=%63s",
+                    &latency, &report.resources.dsp,
+                    &report.resources.lut, &report.resources.ff, &bram,
+                    power) != 6) {
+        return fail("malformed report line");
+    }
+    report.latencyCycles = latency;
+    report.resources.bramBits = bram;
+    char *end = nullptr;
+    report.powerW = std::strtod(power, &end);
+    if (end == nullptr || *end != '\0')
+        return fail("malformed power value");
+
+    std::uint64_t count = 0;
+    if (!r.line(ln) || !scanU64(ln, "loops %" SCNu64, count))
+        return fail("missing loops count");
+    if (count > 1000000)
+        return fail("implausible loop count");
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (!r.line(ln) || ln.rfind("loop ", 0) != 0)
+            return fail("missing loop line");
+        LoopReport loop;
+        std::string tail;
+        if (!splitNamed(ln.substr(5), loop.iterName, tail))
+            return fail("malformed loop name");
+        char target[32] = {0};
+        long long trip = 0;
+        unsigned long long lat = 0;
+        if (std::sscanf(tail.c_str(),
+                        " trip=%lld target=%31s achieved=%d "
+                        "latency=%llu rec=%d res=%d",
+                        &trip, target, &loop.achievedII, &lat,
+                        &loop.recMII, &loop.resMII) != 6) {
+            return fail("malformed loop line");
+        }
+        loop.trip = trip;
+        loop.latency = lat;
+        if (std::string(target) != "none") {
+            std::int64_t t = 0;
+            if (!support::parseInt64(target, t))
+                return fail("malformed target II");
+            loop.targetII = static_cast<int>(t);
+        }
+        report.loops.push_back(std::move(loop));
+    }
+
+    if (!r.line(ln) || !scanU64(ln, "nests %" SCNu64, count))
+        return fail("missing nests count");
+    if (count > 1000000)
+        return fail("implausible nest count");
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (!r.line(ln) || ln.rfind("nest ", 0) != 0)
+            return fail("missing nest line");
+        std::string name, tail;
+        if (!splitNamed(ln.substr(5), name, tail))
+            return fail("malformed nest name");
+        unsigned long long cycles = 0;
+        if (std::sscanf(tail.c_str(), " %llu", &cycles) != 1)
+            return fail("malformed nest latency");
+        report.nestLatencies.emplace_back(std::move(name), cycles);
+    }
+    return true;
+}
+
+// ----- the in-memory cache ------------------------------------------------
+
 std::optional<SynthesisReport>
 EstimatorCache::lookup(const std::string &key)
 {
@@ -102,6 +375,172 @@ EstimatorCache::clear()
     map_.clear();
     hits_.store(0);
     misses_.store(0);
+}
+
+std::vector<std::pair<std::string, SynthesisReport>>
+EstimatorCache::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, SynthesisReport>> out;
+    out.reserve(map_.size());
+    for (const auto &[key, report] : map_)
+        out.emplace_back(key, report);
+    return out;
+}
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Write @p content to @p path via a temp file + rename (atomic). */
+bool
+writeAtomically(const fs::path &path, const std::string &content,
+                std::string &error)
+{
+    fs::path tmp = path;
+    tmp += ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out || !(out << content) || !out.flush()) {
+            error = "cannot write '" + tmp.string() + "'";
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        error = "cannot rename '" + tmp.string() + "': " + ec.message();
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Read the index at @p path into @p hashes. Absent file -> true with
+ * nothing read (cold start); wrong format/version or unreadable ->
+ * false with @p error.
+ */
+bool
+readIndex(const fs::path &path, std::vector<std::string> &hashes,
+          std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return true;
+    std::string header;
+    if (!std::getline(in, header)) {
+        error = "cache index '" + path.string() + "' is empty";
+        return false;
+    }
+    std::string expect = formatHeader();
+    expect.pop_back();
+    if (header != expect) {
+        error = "cache index '" + path.string() +
+                "' format/version mismatch: index says '" + header +
+                "', this build is '" + expect + "'";
+        return false;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty())
+            hashes.push_back(line);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+EstimatorCache::loadDir(const std::string &dir, SpillStats &stats,
+                        std::string &error)
+{
+    stats = SpillStats();
+    error.clear();
+    fs::path root(dir);
+    std::vector<std::string> hashes;
+    if (!readIndex(root / "index", hashes, error))
+        return false;
+    for (const auto &hash : hashes) {
+        fs::path object = root / "objects" / hash;
+        std::ifstream in(object, std::ios::binary);
+        if (!in) {
+            support::diag(support::DiagLevel::Warning,
+                          "cache entry '" + object.string() +
+                              "' is indexed but missing; skipped");
+            ++stats.skipped;
+            continue;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::string key;
+        SynthesisReport report;
+        std::string entry_error;
+        if (!decodeCacheEntry(text.str(), key, report, entry_error) ||
+            cacheEntryHash(key) != hash) {
+            support::diag(support::DiagLevel::Warning,
+                          "cache entry '" + object.string() +
+                              "' is unreadable (" +
+                              (entry_error.empty() ? "hash/key mismatch"
+                                                   : entry_error) +
+                              "); skipped");
+            ++stats.skipped;
+            continue;
+        }
+        store(key, report);
+        ++stats.loaded;
+    }
+    return true;
+}
+
+bool
+EstimatorCache::saveDir(const std::string &dir, SpillStats &stats,
+                        std::string &error) const
+{
+    stats = SpillStats();
+    error.clear();
+    fs::path root(dir);
+    fs::path objects = root / "objects";
+    std::error_code ec;
+    fs::create_directories(objects, ec);
+    if (ec) {
+        error = "cannot create '" + objects.string() +
+                "': " + ec.message();
+        return false;
+    }
+
+    // Merge with any hashes a concurrent saver already indexed so two
+    // processes sharing one cache dir union their entries.
+    std::vector<std::string> hashes;
+    std::string index_error;
+    if (!readIndex(root / "index", hashes, index_error))
+        hashes.clear(); // stale-format index: rebuild from scratch
+
+    std::vector<std::pair<std::string, SynthesisReport>> entries =
+        snapshot();
+    for (const auto &[key, report] : entries) {
+        std::string hash = cacheEntryHash(key);
+        fs::path object = objects / hash;
+        if (fs::exists(object, ec)) {
+            ++stats.kept;
+        } else {
+            if (!writeAtomically(object, encodeCacheEntry(key, report),
+                                 error)) {
+                return false;
+            }
+            ++stats.written;
+        }
+        hashes.push_back(hash);
+    }
+
+    std::sort(hashes.begin(), hashes.end());
+    hashes.erase(std::unique(hashes.begin(), hashes.end()),
+                 hashes.end());
+    std::ostringstream index;
+    index << formatHeader();
+    for (const auto &hash : hashes)
+        index << hash << "\n";
+    return writeAtomically(root / "index", index.str(), error);
 }
 
 EstimatorCache &

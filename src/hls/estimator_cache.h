@@ -18,6 +18,20 @@
  * pool. Reports are small (a few hundred bytes), so an entry per
  * explored point is cheap; clear() exists for benchmarks that need cold
  * runs.
+ *
+ * Persistence (`pomc --cache-dir`, the pomd daemon's warm-start): the
+ * cache spills to a content-addressed directory --
+ *
+ *   <dir>/index            list of entry hashes (atomic rewrite)
+ *   <dir>/objects/<hash>   one entry: full key + serialized report
+ *
+ * where <hash> is the FNV-1a-64 of the canonical fingerprint. Every
+ * file is stamped with support::kCacheFormatName and kVersionString
+ * (a mismatch is a clean load error, never misread bytes), carries its
+ * own checksum (a corrupt entry is skipped with a warning, the rest
+ * still load), stores the *full* key so a hash collision can never
+ * alias two schedules, and is written to a temp name + rename()d so a
+ * crash mid-save leaves no torn files.
  */
 
 #ifndef POM_HLS_ESTIMATOR_CACHE_H
@@ -55,6 +69,36 @@ designFingerprint(const std::string &funcDigest,
                   const PartitionPlan &plan,
                   const EstimatorOptions &options);
 
+/** Content address of one cache entry: FNV-1a-64 of @p key, 16 hex. */
+std::string cacheEntryHash(const std::string &key);
+
+/**
+ * Serialize one (key, report) pair as the on-disk entry format:
+ * version-stamped header, length-prefixed key, every SynthesisReport
+ * field (doubles in hexfloat, so the round-trip is bit-exact), and a
+ * trailing checksum line.
+ */
+std::string encodeCacheEntry(const std::string &key,
+                             const SynthesisReport &report);
+
+/**
+ * Parse an entry produced by encodeCacheEntry(). Returns false with a
+ * diagnostic in @p error on a version/format mismatch, a checksum
+ * failure, or any malformed field; @p key and @p report are only valid
+ * on success.
+ */
+bool decodeCacheEntry(const std::string &text, std::string &key,
+                      SynthesisReport &report, std::string &error);
+
+/** Outcome counts of one loadDir()/saveDir() call. */
+struct SpillStats
+{
+    std::size_t loaded = 0;  ///< entries read into the cache
+    std::size_t skipped = 0; ///< corrupt/missing entries warned about
+    std::size_t written = 0; ///< new object files created
+    std::size_t kept = 0;    ///< entries already present on disk
+};
+
 /** Thread-safe fingerprint -> SynthesisReport map with hit statistics. */
 class EstimatorCache
 {
@@ -71,6 +115,31 @@ class EstimatorCache
 
     /** Drop all entries and reset the statistics (cold-run benchmarks). */
     void clear();
+
+    /** Copy of all entries (spilling, tests). */
+    std::vector<std::pair<std::string, SynthesisReport>> snapshot() const;
+
+    /**
+     * Load a cache directory written by saveDir(). A missing directory
+     * or index is a cold start (true, zero stats); an index with the
+     * wrong format/version is a clean error (false + @p error).
+     * Individual corrupt or missing entries are skipped with a warning
+     * and counted in stats.skipped. Loaded entries go through store(),
+     * so in-memory values win over disk duplicates. Does not touch the
+     * hit/miss statistics.
+     */
+    bool loadDir(const std::string &dir, SpillStats &stats,
+                 std::string &error);
+
+    /**
+     * Spill every entry to @p dir (creating it), content-addressed by
+     * cacheEntryHash(). Object files and the index are written to temp
+     * names and rename()d into place; entries already on disk are left
+     * untouched, and hashes found in an existing index are preserved,
+     * so concurrent savers merge instead of clobbering each other.
+     */
+    bool saveDir(const std::string &dir, SpillStats &stats,
+                 std::string &error) const;
 
     /** The process-wide cache the DSE engine uses. */
     static EstimatorCache &global();

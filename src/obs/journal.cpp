@@ -1,6 +1,7 @@
 #include "obs/journal.h"
 
 #include <atomic>
+#include <limits>
 #include <sstream>
 
 #include "obs/obs.h"
@@ -128,19 +129,33 @@ class JsonScanner
         }
         if (pos_ == start)
             return fail("expected an integer");
+        // Overflow-checked accumulation: a hostile or corrupted file
+        // must produce a diagnostic, not signed-overflow UB.
         out = 0;
         bool negative = text_[start] == '-';
-        for (size_t i = start + (negative ? 1 : 0); i < pos_; ++i)
-            out = out * 10 + (text_[i] - '0');
+        constexpr std::int64_t kMax =
+            std::numeric_limits<std::int64_t>::max();
+        for (size_t i = start + (negative ? 1 : 0); i < pos_; ++i) {
+            int digit = text_[i] - '0';
+            if (out > (kMax - digit) / 10) {
+                pos_ = start;
+                return fail("integer out of range");
+            }
+            out = out * 10 + digit;
+        }
         if (negative)
             out = -out;
         return true;
     }
 
-    /** Validate and discard any value (for unknown keys). */
+    /** Validate and discard any value (for unknown keys). Nesting is
+     *  depth-limited so a pathological input exhausts the limit, not
+     *  the call stack. */
     bool
-    skipValue()
+    skipValue(int depth = 0)
     {
+        if (depth > kMaxSkipDepth)
+            return fail("value nested too deeply");
         skipSpace();
         if (pos_ >= text_.size())
             return fail("expected a value");
@@ -163,7 +178,7 @@ class JsonScanner
                     if (!parseString(key) || !consume(':'))
                         return false;
                 }
-                if (!skipValue())
+                if (!skipValue(depth + 1))
                     return false;
                 skipSpace();
                 if (peek(',')) {
@@ -197,7 +212,17 @@ class JsonScanner
         return fail("unrecognized value");
     }
 
+    /** True once the whole input has been consumed (modulo space). */
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos_ >= text_.size();
+    }
+
   private:
+    static constexpr int kMaxSkipDepth = 64;
+
     const std::string &text_;
     std::string &error_;
 };
@@ -514,6 +539,11 @@ parseJournalJson(const std::string &text, std::vector<JournalEntry> &out,
     }
     if (!saw_events) {
         error = "missing events array";
+        return false;
+    }
+    if (!s.atEnd()) {
+        error.clear();
+        s.fail("trailing garbage after journal document");
         return false;
     }
     return true;

@@ -1,0 +1,43 @@
+#include "service/client.h"
+
+#include <chrono>
+#include <thread>
+
+#include "support/socket.h"
+
+namespace pom::service {
+
+bool
+callDaemon(const std::string &socketPath, const Request &request,
+           Response &response, std::string &error, int busyRetries)
+{
+    const std::string payload = encodeRequest(request);
+    for (int attempt = 0;; ++attempt) {
+        support::Socket conn =
+            support::connectUnix(socketPath, error);
+        if (!conn.valid())
+            return false;
+        if (!support::sendFrame(conn, payload, error))
+            return false;
+        std::string reply_text;
+        if (!support::recvFrame(conn, reply_text, kMaxFrameBytes,
+                                error)) {
+            return false;
+        }
+        if (!decodeResponse(reply_text, response, error))
+            return false;
+        if (response.status != "busy")
+            return true;
+        if (attempt >= busyRetries) {
+            error = "daemon stayed busy after " +
+                    std::to_string(busyRetries) + " retries";
+            return false;
+        }
+        int wait_ms =
+            response.retryAfterMs > 0 ? response.retryAfterMs : 100;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(wait_ms));
+    }
+}
+
+} // namespace pom::service

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Client side of the pomd protocol: connect to the daemon's Unix
+ * socket, send one request frame, read one response frame. "busy"
+ * responses are retried with the daemon's own retry_after_ms hint, so
+ * callers see backpressure as latency rather than as an error (up to a
+ * bounded retry count).
+ */
+
+#ifndef POM_SERVICE_CLIENT_H
+#define POM_SERVICE_CLIENT_H
+
+#include <string>
+
+#include "service/protocol.h"
+
+namespace pom::service {
+
+/**
+ * Send @p request to the daemon at @p socketPath and fill @p response.
+ *
+ * Returns false + @p error when the daemon is unreachable, a frame is
+ * malformed, or the daemon stayed busy through @p busyRetries retries.
+ * A response with status "error" is a *successful* call -- the caller
+ * inspects response.status.
+ */
+bool callDaemon(const std::string &socketPath, const Request &request,
+                Response &response, std::string &error,
+                int busyRetries = 25);
+
+} // namespace pom::service
+
+#endif // POM_SERVICE_CLIENT_H

@@ -1,0 +1,231 @@
+#include "service/protocol.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/json.h"
+#include "support/version.h"
+
+namespace pom::service {
+
+namespace {
+
+using support::jsonQuote;
+
+void
+field(std::ostringstream &os, bool &first, const std::string &key,
+      const std::string &value)
+{
+    os << (first ? "" : ", ") << jsonQuote(key) << ": "
+       << jsonQuote(value);
+    first = false;
+}
+
+void
+field(std::ostringstream &os, bool &first, const std::string &key,
+      std::int64_t value)
+{
+    os << (first ? "" : ", ") << jsonQuote(key) << ": " << value;
+    first = false;
+}
+
+void
+field(std::ostringstream &os, bool &first, const std::string &key,
+      double value)
+{
+    // Round-trip-exact decimal form for the resource fraction.
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    os << (first ? "" : ", ") << jsonQuote(key) << ": " << buf;
+    first = false;
+}
+
+void
+field(std::ostringstream &os, bool &first, const std::string &key,
+      bool value)
+{
+    os << (first ? "" : ", ") << jsonQuote(key) << ": "
+       << (value ? "true" : "false");
+    first = false;
+}
+
+} // namespace
+
+std::string
+encodeRequest(const Request &r)
+{
+    std::ostringstream os;
+    bool first = true;
+    os << "{";
+    field(os, first, "pom", r.version.empty()
+                                ? std::string(support::kVersionString)
+                                : r.version);
+    field(os, first, "protocol",
+          std::string(support::kProtocolName));
+    field(os, first, "method", r.method);
+    if (r.method == "compile") {
+        field(os, first, "workload", r.workload);
+        field(os, first, "size", r.size);
+        field(os, first, "framework", r.framework);
+        field(os, first, "strategy", r.strategy);
+        field(os, first, "resources", r.resourceFraction);
+        field(os, first, "emit", r.emit);
+        field(os, first, "journal", r.journal);
+    } else if (r.method == "opt") {
+        field(os, first, "ir", r.ir);
+        field(os, first, "pipeline", r.pipeline);
+    } else if (r.method == "sleep") {
+        field(os, first, "size", r.size);
+    }
+    os << "}";
+    return os.str();
+}
+
+std::string
+encodeResponse(const Response &r)
+{
+    std::ostringstream os;
+    bool first = true;
+    os << "{";
+    field(os, first, "pom", r.version.empty()
+                                ? std::string(support::kVersionString)
+                                : r.version);
+    field(os, first, "status", r.status);
+    if (r.status == "error") {
+        field(os, first, "error", r.error);
+    } else if (r.status == "busy") {
+        field(os, first, "retry_after_ms",
+              static_cast<std::int64_t>(r.retryAfterMs));
+    }
+    if (!r.reportLine.empty()) {
+        field(os, first, "report", r.reportLine);
+        field(os, first, "notes", r.notes);
+        field(os, first, "seconds", r.seconds);
+        field(os, first, "latency_cycles",
+              static_cast<std::int64_t>(r.latencyCycles));
+        field(os, first, "dsp", r.dsp);
+        field(os, first, "bram_bits", r.bramBits);
+        field(os, first, "lut", r.lut);
+        field(os, first, "ff", r.ff);
+    }
+    if (!r.journalText.empty())
+        field(os, first, "journal", r.journalText);
+    if (!r.hlsC.empty())
+        field(os, first, "hls_c", r.hlsC);
+    if (!r.irOut.empty())
+        field(os, first, "ir", r.irOut);
+    if (r.status == "ok") {
+        field(os, first, "requests_served", r.requestsServed);
+        field(os, first, "cache_hits", r.cacheHits);
+        field(os, first, "cache_misses", r.cacheMisses);
+        field(os, first, "cache_size", r.cacheSize);
+        field(os, first, "cache_loaded", r.cacheLoaded);
+        field(os, first, "queue_depth", r.queueDepth);
+    }
+    os << "}";
+    return os.str();
+}
+
+bool
+decodeRequest(const std::string &text, Request &out, std::string &error)
+{
+    out = Request();
+    support::JsonValue doc;
+    if (!support::parseJson(text, doc, error))
+        return false;
+    if (!doc.isObject()) {
+        error = "request is not a JSON object";
+        return false;
+    }
+    if (const auto *v = doc.find("pom"))
+        out.version = v->asString();
+    if (const auto *v = doc.find("method"))
+        out.method = v->asString();
+    if (out.method.empty()) {
+        error = "request has no method";
+        return false;
+    }
+    if (const auto *v = doc.find("workload"))
+        out.workload = v->asString();
+    if (const auto *v = doc.find("size"))
+        out.size = v->asInt(out.size);
+    if (const auto *v = doc.find("framework"))
+        out.framework = v->asString(out.framework);
+    if (const auto *v = doc.find("strategy"))
+        out.strategy = v->asString(out.strategy);
+    if (const auto *v = doc.find("resources"))
+        out.resourceFraction = v->asDouble(out.resourceFraction);
+    if (const auto *v = doc.find("emit"))
+        out.emit = v->asBool(out.emit);
+    if (const auto *v = doc.find("journal"))
+        out.journal = v->asString(out.journal);
+    if (const auto *v = doc.find("ir"))
+        out.ir = v->asString();
+    if (const auto *v = doc.find("pipeline"))
+        out.pipeline = v->asString();
+    return true;
+}
+
+bool
+decodeResponse(const std::string &text, Response &out,
+               std::string &error)
+{
+    out = Response();
+    out.status.clear(); // a frame must carry its status explicitly
+    support::JsonValue doc;
+    if (!support::parseJson(text, doc, error))
+        return false;
+    if (!doc.isObject()) {
+        error = "response is not a JSON object";
+        return false;
+    }
+    if (const auto *v = doc.find("pom"))
+        out.version = v->asString();
+    if (const auto *v = doc.find("status"))
+        out.status = v->asString();
+    if (out.status.empty()) {
+        error = "response has no status";
+        return false;
+    }
+    if (const auto *v = doc.find("error"))
+        out.error = v->asString();
+    if (const auto *v = doc.find("retry_after_ms"))
+        out.retryAfterMs = static_cast<int>(v->asInt());
+    if (const auto *v = doc.find("report"))
+        out.reportLine = v->asString();
+    if (const auto *v = doc.find("notes"))
+        out.notes = v->asString();
+    if (const auto *v = doc.find("seconds"))
+        out.seconds = v->asDouble();
+    if (const auto *v = doc.find("latency_cycles"))
+        out.latencyCycles = static_cast<std::uint64_t>(v->asInt());
+    if (const auto *v = doc.find("dsp"))
+        out.dsp = v->asInt();
+    if (const auto *v = doc.find("bram_bits"))
+        out.bramBits = v->asInt();
+    if (const auto *v = doc.find("lut"))
+        out.lut = v->asInt();
+    if (const auto *v = doc.find("ff"))
+        out.ff = v->asInt();
+    if (const auto *v = doc.find("journal"))
+        out.journalText = v->asString();
+    if (const auto *v = doc.find("hls_c"))
+        out.hlsC = v->asString();
+    if (const auto *v = doc.find("ir"))
+        out.irOut = v->asString();
+    if (const auto *v = doc.find("requests_served"))
+        out.requestsServed = v->asInt();
+    if (const auto *v = doc.find("cache_hits"))
+        out.cacheHits = v->asInt();
+    if (const auto *v = doc.find("cache_misses"))
+        out.cacheMisses = v->asInt();
+    if (const auto *v = doc.find("cache_size"))
+        out.cacheSize = v->asInt();
+    if (const auto *v = doc.find("cache_loaded"))
+        out.cacheLoaded = v->asInt();
+    if (const auto *v = doc.find("queue_depth"))
+        out.queueDepth = v->asInt();
+    return true;
+}
+
+} // namespace pom::service

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The pomd wire protocol: length-prefixed JSON request/response frames
+ * over a Unix-domain socket (support/socket.h provides the framing).
+ * One request per connection; the daemon replies with exactly one
+ * response and closes.
+ *
+ * Every message carries the sender's POM version
+ * (support::kVersionString); the daemon rejects a mismatched client
+ * with a clean "version mismatch" error instead of guessing at field
+ * semantics. Unknown JSON fields are ignored on both sides, so
+ * same-version minor extensions stay compatible.
+ *
+ * Methods:
+ *  - "ping"     liveness + version probe.
+ *  - "stats"    daemon counters: requests served, estimator-cache
+ *               hits/misses/size, entries warm-loaded from disk, and
+ *               the current queue depth.
+ *  - "compile"  compile a named workload (optionally through the DSE)
+ *               exactly as a one-shot `pomc` run would; the response
+ *               carries the synthesis report and, when requested, the
+ *               pom-dse-journal document byte-identical to `pomc
+ *               --dse-journal` / `--frontier-out` output.
+ *  - "opt"      run a pass pipeline over textual IR (`pom-opt` as a
+ *               service): request carries the IR and the pipeline
+ *               spec, the response the resulting IR.
+ *  - "shutdown" save the cache spill and stop the daemon.
+ *  - "sleep"    testing aid: hold one executor slot for `size`
+ *               milliseconds, so backpressure is deterministic to
+ *               exercise.
+ *
+ * Backpressure: when the daemon's bounded request queue is full it
+ * responds status "busy" with a retry_after_ms hint instead of
+ * queueing unboundedly; clients are expected to back off and retry.
+ */
+
+#ifndef POM_SERVICE_PROTOCOL_H
+#define POM_SERVICE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+namespace pom::service {
+
+/** Upper bound on one frame (a journal for a deep DSE is ~1 MB). */
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/** One client request. */
+struct Request
+{
+    std::string version; ///< sender's support::kVersionString
+    std::string method;  ///< ping | stats | compile | opt | shutdown
+
+    // -- compile --
+    std::string workload;            ///< workloads::makeByName name
+    std::int64_t size = 1024;        ///< problem size
+    std::string framework = "pom";   ///< pom|scalehls|polsca|pluto|none
+    std::string strategy = "greedy"; ///< dse::StrategyKind name
+    double resourceFraction = 1.0;
+    bool emit = false;          ///< also return the HLS C
+    std::string journal = "none"; ///< none | v1 | v2
+
+    // -- opt --
+    std::string ir;       ///< textual .pom-ir module
+    std::string pipeline; ///< pass pipeline spec (may be empty)
+};
+
+/** One daemon response. */
+struct Response
+{
+    std::string version;         ///< daemon's support::kVersionString
+    std::string status = "ok";   ///< ok | error | busy
+    std::string error;           ///< status "error": what went wrong
+    int retryAfterMs = 0;        ///< status "busy": back-off hint
+
+    // -- compile --
+    std::string reportLine; ///< SynthesisReport::str() of the design
+    std::string notes;      ///< baseline notes line
+    double seconds = 0.0;   ///< server-side toolchain wall-clock
+    std::uint64_t latencyCycles = 0;
+    std::int64_t dsp = 0;
+    std::int64_t bramBits = 0;
+    std::int64_t lut = 0;
+    std::int64_t ff = 0;
+    std::string journalText; ///< requested pom-dse-journal document
+    std::string hlsC;        ///< requested HLS C
+
+    // -- opt --
+    std::string irOut;
+
+    // -- stats --
+    std::int64_t requestsServed = 0;
+    std::int64_t cacheHits = 0;
+    std::int64_t cacheMisses = 0;
+    std::int64_t cacheSize = 0;
+    std::int64_t cacheLoaded = 0; ///< entries warm-loaded from disk
+    std::int64_t queueDepth = 0;
+};
+
+/** Serialize as one canonical JSON document (the frame payload). */
+std::string encodeRequest(const Request &request);
+std::string encodeResponse(const Response &response);
+
+/** Parse a frame payload; false + @p error on malformed JSON or a
+ *  missing method/status field. Does NOT check the version -- the
+ *  server does that so it can answer with a proper error response. */
+bool decodeRequest(const std::string &text, Request &out,
+                   std::string &error);
+bool decodeResponse(const std::string &text, Response &out,
+                    std::string &error);
+
+} // namespace pom::service
+
+#endif // POM_SERVICE_PROTOCOL_H

@@ -1,0 +1,326 @@
+#include "service/server.h"
+
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "baselines/baselines.h"
+#include "dse/strategy.h"
+#include "emit/hls_emitter.h"
+#include "ir/parser.h"
+#include "lower/lower.h"
+#include "obs/journal.h"
+#include "pass/pass_manager.h"
+#include "support/diagnostics.h"
+#include "support/version.h"
+#include "workloads/workloads.h"
+
+namespace pom::service {
+
+Server::Server(ServerOptions options) : opt_(std::move(options))
+{
+    if (opt_.workers < 1)
+        opt_.workers = 1;
+    if (opt_.queueLimit < 1)
+        opt_.queueLimit = 1;
+}
+
+Server::~Server()
+{
+    stop();
+    // ThreadPool's destructor drains queued requests, then joins; only
+    // after that is the final spill consistent.
+    executors_.reset();
+    saveCache();
+    if (listener_.valid()) {
+        listener_.reset();
+        ::unlink(opt_.socketPath.c_str());
+    }
+}
+
+bool
+Server::start(std::string &error)
+{
+    lower::registerLoweringPasses();
+    if (!opt_.cacheDir.empty() &&
+        !hls::EstimatorCache::global().loadDir(opt_.cacheDir,
+                                               load_stats_, error)) {
+        return false;
+    }
+    listener_ = support::listenUnix(opt_.socketPath, 64, error);
+    if (!listener_.valid())
+        return false;
+    executors_ =
+        std::make_unique<support::ThreadPool>(opt_.workers);
+    return true;
+}
+
+void
+Server::run()
+{
+    while (!stopped()) {
+        int ready = support::waitReadable(listener_, 200);
+        if (ready < 0)
+            break;
+        if (ready == 0)
+            continue;
+        std::string error;
+        auto conn = std::make_shared<support::Socket>(
+            support::acceptConnection(listener_, error));
+        if (!conn->valid()) {
+            if (!stopped()) {
+                support::diag(support::DiagLevel::Warning,
+                              "pomd: " + error);
+            }
+            continue;
+        }
+        dispatch(std::move(conn));
+    }
+}
+
+void
+Server::dispatch(std::shared_ptr<support::Socket> connection)
+{
+    // A request frame is one small JSON document; a peer that cannot
+    // produce it within the timeout is dropped rather than allowed to
+    // stall the accept loop.
+    support::setRecvTimeout(*connection, 10000);
+    std::string payload, error;
+    if (!support::recvFrame(*connection, payload, kMaxFrameBytes,
+                            error)) {
+        support::diag(support::DiagLevel::Warning,
+                      "pomd: dropping connection: " + error);
+        return;
+    }
+
+    auto reply = [connection](const Response &response) {
+        std::string send_error;
+        if (!support::sendFrame(*connection,
+                                encodeResponse(response), send_error)) {
+            support::diag(support::DiagLevel::Warning,
+                          "pomd: cannot reply: " + send_error);
+        }
+    };
+
+    Request request;
+    if (!decodeRequest(payload, request, error)) {
+        Response bad;
+        bad.status = "error";
+        bad.error = "malformed request: " + error;
+        reply(bad);
+        return;
+    }
+
+    // Cheap control methods never queue: a full daemon must still
+    // answer pings, stats probes and the shutdown request.
+    if (request.method != "compile" && request.method != "opt" &&
+        request.method != "sleep") {
+        reply(execute(request));
+        return;
+    }
+
+    // Bounded queue with explicit backpressure: admission is a single
+    // compare-and-bump, so a flood costs one frame parse + one small
+    // "busy" frame per rejected request.
+    int depth = pending_.load(std::memory_order_relaxed);
+    do {
+        if (depth >= opt_.queueLimit) {
+            Response busy;
+            busy.status = "busy";
+            busy.retryAfterMs = opt_.retryAfterMs;
+            reply(busy);
+            return;
+        }
+    } while (!pending_.compare_exchange_weak(
+        depth, depth + 1, std::memory_order_relaxed));
+
+    executors_->submit([this, connection, request, reply]() {
+        reply(execute(request));
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+    });
+}
+
+Response
+Server::execute(const Request &request)
+{
+    Response response;
+    if (request.version != support::kVersionString) {
+        response.status = "error";
+        response.error = "version mismatch: client '" +
+                         request.version + "', daemon '" +
+                         support::kVersionString +
+                         "' -- upgrade the older side";
+        return response;
+    }
+
+    try {
+        if (request.method == "ping") {
+            // The version field already says everything a probe needs.
+        } else if (request.method == "stats") {
+            response = statsResponse();
+        } else if (request.method == "compile") {
+            response = compileResponse(request);
+        } else if (request.method == "opt") {
+            response = optResponse(request);
+        } else if (request.method == "shutdown") {
+            stop();
+        } else if (request.method == "sleep") {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(request.size));
+        } else {
+            response.status = "error";
+            response.error =
+                "unknown method '" + request.method +
+                "' (valid: ping, stats, compile, opt, shutdown)";
+        }
+    } catch (const support::FatalError &e) {
+        response = Response();
+        response.status = "error";
+        response.error = e.what();
+    } catch (const std::exception &e) {
+        response = Response();
+        response.status = "error";
+        response.error = std::string("internal error: ") + e.what();
+    }
+    if (response.status == "ok")
+        served_.fetch_add(1, std::memory_order_relaxed);
+    return response;
+}
+
+Response
+Server::compileResponse(const Request &request)
+{
+    Response response;
+    if (!workloads::isKnown(request.workload)) {
+        response.status = "error";
+        response.error =
+            "unknown workload '" + request.workload + "'";
+        return response;
+    }
+    if (request.size <= 0) {
+        response.status = "error";
+        response.error = "size must be positive";
+        return response;
+    }
+    if (request.resourceFraction <= 0.0 ||
+        request.resourceFraction > 1.0) {
+        response.status = "error";
+        response.error = "resources must be a fraction in (0, 1]";
+        return response;
+    }
+    if (request.journal != "none" && request.journal != "v1" &&
+        request.journal != "v2") {
+        response.status = "error";
+        response.error = "journal must be none, v1 or v2";
+        return response;
+    }
+    if (request.journal != "none" && request.framework != "pom") {
+        response.status = "error";
+        response.error = "a DSE journal requires framework 'pom'";
+        return response;
+    }
+
+    baselines::BaselineOptions options;
+    options.resourceFraction = request.resourceFraction;
+    if (!dse::parseStrategy(request.strategy, options.strategy)) {
+        response.status = "error";
+        response.error = "unknown strategy '" + request.strategy +
+                         "' (valid: " + dse::strategyNames() + ")";
+        return response;
+    }
+
+    auto workload =
+        workloads::makeByName(request.workload, request.size);
+    baselines::BaselineResult result;
+    if (request.framework == "pom") {
+        result = baselines::runPom(workload->func(), options);
+    } else if (request.framework == "scalehls") {
+        result = baselines::runScaleHlsLike(workload->func(), options);
+    } else if (request.framework == "polsca") {
+        result = baselines::runPolscaLike(workload->func(), options);
+    } else if (request.framework == "pluto") {
+        result = baselines::runPlutoLike(workload->func(), options);
+    } else if (request.framework == "none") {
+        result = baselines::runUnoptimized(workload->func(), options);
+    } else {
+        response.status = "error";
+        response.error =
+            "unknown framework '" + request.framework +
+            "' (valid: pom, scalehls, polsca, pluto, none)";
+        return response;
+    }
+
+    auto device =
+        hls::Device::xc7z020().scaled(request.resourceFraction);
+    response.reportLine = result.report.str(device);
+    response.notes = result.notes;
+    response.seconds = result.seconds;
+    response.latencyCycles = result.report.latencyCycles;
+    response.dsp = result.report.resources.dsp;
+    response.bramBits = result.report.resources.bramBits;
+    response.lut = result.report.resources.lut;
+    response.ff = result.report.resources.ff;
+    if (request.journal == "v1") {
+        response.journalText = obs::journalJson(result.journal);
+    } else if (request.journal == "v2") {
+        response.journalText =
+            obs::journalJsonV2(result.journal, result.frontierRounds);
+    }
+    if (request.emit)
+        response.hlsC = emit::emitHlsC(*result.design.func);
+
+    saveCache();
+    return response;
+}
+
+Response
+Server::optResponse(const Request &request)
+{
+    Response response;
+    auto begin = std::chrono::steady_clock::now();
+    pass::PipelineState state;
+    state.func = ir::parseIr(request.ir);
+    pass::PassManager manager;
+    if (!request.pipeline.empty())
+        manager.addPipeline(request.pipeline);
+    manager.run(state);
+    response.irOut = state.func ? state.func->str() : "";
+    response.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begin)
+            .count();
+    return response;
+}
+
+Response
+Server::statsResponse()
+{
+    Response response;
+    auto &cache = hls::EstimatorCache::global();
+    response.requestsServed =
+        static_cast<std::int64_t>(served_.load());
+    response.cacheHits = static_cast<std::int64_t>(cache.hits());
+    response.cacheMisses = static_cast<std::int64_t>(cache.misses());
+    response.cacheSize = static_cast<std::int64_t>(cache.size());
+    response.cacheLoaded =
+        static_cast<std::int64_t>(load_stats_.loaded);
+    response.queueDepth = pending_.load(std::memory_order_relaxed);
+    return response;
+}
+
+void
+Server::saveCache()
+{
+    if (opt_.cacheDir.empty())
+        return;
+    std::lock_guard<std::mutex> lock(save_mutex_);
+    hls::SpillStats stats;
+    std::string error;
+    if (!hls::EstimatorCache::global().saveDir(opt_.cacheDir, stats,
+                                               error)) {
+        support::diag(support::DiagLevel::Warning,
+                      "pomd: cache spill failed: " + error);
+    }
+}
+
+} // namespace pom::service

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The pomd compile server: a long-lived process that keeps the whole
+ * compiler warm -- registered pass pipelines, the process-wide
+ * hls::EstimatorCache, and (optionally) its disk spill -- and serves
+ * concurrent compile/DSE requests over a Unix-domain socket speaking
+ * the protocol.h frames.
+ *
+ * Concurrency model: one accept loop (run()) reads a single request
+ * frame per connection and hands (request, connection) to a dedicated
+ * support::ThreadPool of request executors. The executor pool is
+ * deliberately distinct from support::ThreadPool::global(): the DSE
+ * inside a request fans its speculative candidate evaluations out on
+ * the global pool, and the deadlock rule (a pool worker must never
+ * wait on futures of its own pool) requires the waiter to live
+ * elsewhere. Journals stay byte-identical to one-shot `pomc` runs
+ * because each request's DseResult carries its own journal -- nothing
+ * goes through the process-global obs::journal() -- and the shared
+ * estimator cache can only change *where* a report comes from, never
+ * what it says (the fingerprint pins the full estimator input).
+ *
+ * Backpressure: at most `queueLimit` requests may be queued or
+ * executing; beyond that the accept loop answers status "busy" with a
+ * retry_after_ms hint immediately, so a flood degrades into client
+ * retries instead of unbounded daemon memory.
+ *
+ * Persistence: with a cache dir configured, the estimator-cache spill
+ * is loaded before the first request and re-saved (incrementally --
+ * content-addressed entries already on disk are skipped) after every
+ * request that grew the cache, and once more on shutdown. A daemon
+ * restart therefore warm-starts from disk; `dse.cache.hits` is nonzero
+ * for the first repeated request after a restart.
+ */
+
+#ifndef POM_SERVICE_SERVER_H
+#define POM_SERVICE_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "hls/estimator_cache.h"
+#include "service/protocol.h"
+#include "support/socket.h"
+#include "support/thread_pool.h"
+
+namespace pom::service {
+
+/** Daemon configuration (`pomd` flags). */
+struct ServerOptions
+{
+    /** Unix-domain socket path to listen on. */
+    std::string socketPath = "pomd.sock";
+
+    /** Estimator-cache spill directory; empty = no persistence. */
+    std::string cacheDir;
+
+    /** Concurrent request executors. */
+    int workers = 2;
+
+    /** Max requests queued or executing before "busy" responses. */
+    int queueLimit = 16;
+
+    /** The back-off hint sent with a "busy" response. */
+    int retryAfterMs = 200;
+};
+
+/** The daemon. Construct, start(), then run() until stop(). */
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+
+    /** Joins in-flight requests and saves the cache spill. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the socket, register pass pipelines, and warm-load the
+     * cache spill. False + @p error when the socket or the cache
+     * index is unusable (a daemon must not start half-deaf).
+     */
+    bool start(std::string &error);
+
+    /**
+     * Accept-and-dispatch loop; returns once stop() is called and no
+     * more connections are pending. Call from the main thread.
+     */
+    void run();
+
+    /** Request shutdown (thread- and signal-safe: one atomic store). */
+    void stop() { stopping_.store(true, std::memory_order_relaxed); }
+
+    bool stopped() const
+    {
+        return stopping_.load(std::memory_order_relaxed);
+    }
+
+    /** Entries warm-loaded from the cache dir at start(). */
+    const hls::SpillStats &loadStats() const { return load_stats_; }
+
+    std::uint64_t requestsServed() const { return served_.load(); }
+
+    /** Execute one request in-process (the daemon's dispatch target;
+     *  public so tests can drive the protocol without a socket). */
+    Response execute(const Request &request);
+
+  private:
+    void dispatch(std::shared_ptr<support::Socket> connection);
+    Response compileResponse(const Request &request);
+    Response optResponse(const Request &request);
+    Response statsResponse();
+    void saveCache();
+
+    ServerOptions opt_;
+    support::Socket listener_;
+    std::unique_ptr<support::ThreadPool> executors_;
+    std::atomic<int> pending_{0};
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> served_{0};
+    hls::SpillStats load_stats_;
+    std::mutex save_mutex_;
+};
+
+} // namespace pom::service
+
+#endif // POM_SERVICE_SERVER_H

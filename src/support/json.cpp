@@ -1,0 +1,345 @@
+#include "support/json.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pom::support {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &error)
+        : text_(text), error_(error)
+    {}
+
+    bool
+    parseDocument(JsonValue &out)
+    {
+        if (!parseValue(out, 0))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing garbage after the document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (error_.empty())
+            error_ = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos_;
+        return true;
+    }
+
+    bool
+    peek(char c)
+    {
+        skipSpace();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        out.clear();
+        if (!consume('"'))
+            return false;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned v = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // Protocol strings only escape control codes; encode
+                // the code point as-is for the Latin-1 subset.
+                out += static_cast<char>(v & 0xff);
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        skipSpace();
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool fractional = false;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                fractional = true;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            return fail("expected a number");
+        std::string token = text_.substr(start, pos_ - start);
+        if (!fractional) {
+            // Overflow-checked decimal int64.
+            std::int64_t v = 0;
+            bool negative = token[0] == '-';
+            size_t i = negative ? 1 : 0;
+            if (i == token.size())
+                return fail("expected digits");
+            bool overflow = false;
+            for (; i < token.size(); ++i) {
+                int d = token[i] - '0';
+                if (v > (INT64_MAX - d) / 10) {
+                    overflow = true;
+                    break;
+                }
+                v = v * 10 + d;
+            }
+            if (!overflow) {
+                out.kind = JsonValue::Kind::Int;
+                out.integer = negative ? -v : v;
+                return true;
+            }
+            // Fall through: a huge integer still parses, as a double.
+        }
+        char *end = nullptr;
+        double d = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            return fail("malformed number '" + token + "'");
+        out.kind = JsonValue::Kind::Double;
+        out.number = d;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting deeper than " +
+                        std::to_string(kMaxDepth) + " levels");
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("expected a value");
+        char c = text_[pos_];
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.text);
+        }
+        if (c == '{') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            if (peek('}')) {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                std::string key;
+                skipSpace();
+                if (!parseString(key) || !consume(':'))
+                    return false;
+                JsonValue member;
+                if (!parseValue(member, depth + 1))
+                    return false;
+                out.members.emplace_back(std::move(key),
+                                         std::move(member));
+                if (peek(',')) {
+                    ++pos_;
+                    continue;
+                }
+                return consume('}');
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            if (peek(']')) {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                JsonValue item;
+                if (!parseValue(item, depth + 1))
+                    return false;
+                out.items.push_back(std::move(item));
+                if (peek(',')) {
+                    ++pos_;
+                    continue;
+                }
+                return consume(']');
+            }
+        }
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber(out);
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            out.kind = JsonValue::Kind::Null;
+            return true;
+        }
+        return fail("unrecognized value");
+    }
+
+    const std::string &text_;
+    std::string &error_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : members) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+std::string
+JsonValue::asString(const std::string &fallback) const
+{
+    return kind == Kind::String ? text : fallback;
+}
+
+std::int64_t
+JsonValue::asInt(std::int64_t fallback) const
+{
+    if (kind == Kind::Int)
+        return integer;
+    if (kind == Kind::Double)
+        return static_cast<std::int64_t>(number);
+    return fallback;
+}
+
+double
+JsonValue::asDouble(double fallback) const
+{
+    if (kind == Kind::Double)
+        return number;
+    if (kind == Kind::Int)
+        return static_cast<double>(integer);
+    return fallback;
+}
+
+bool
+JsonValue::asBool(bool fallback) const
+{
+    return kind == Kind::Bool ? boolean : fallback;
+}
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &error)
+{
+    out = JsonValue();
+    error.clear();
+    Parser p(text, error);
+    return p.parseDocument(out);
+}
+
+std::string
+jsonQuote(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out += '"';
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace pom::support

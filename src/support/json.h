@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A minimal JSON document model for the compile-service wire protocol
+ * (service/protocol.h). Parses the full JSON value grammar -- objects,
+ * arrays, strings, numbers, booleans, null -- into a small DOM with
+ * strict errors: bounded nesting depth, overflow-checked integers, and
+ * no trailing garbage. Object member order is preserved so encoders
+ * can emit canonical documents.
+ *
+ * This is intentionally not a general-purpose JSON library: documents
+ * are protocol messages of at most a few megabytes, so the DOM favours
+ * simplicity (one struct, value semantics) over allocation tricks.
+ */
+
+#ifndef POM_SUPPORT_JSON_H
+#define POM_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pom::support {
+
+/** One JSON value (a tagged union with value semantics). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::int64_t integer = 0; ///< Kind::Int
+    double number = 0.0;      ///< Kind::Double
+    std::string text;         ///< Kind::String
+    std::vector<JsonValue> items; ///< Kind::Array
+    std::vector<std::pair<std::string, JsonValue>> members; ///< Object
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Member lookup (first match); null when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    // Typed accessors with defaults for optional protocol fields.
+    std::string asString(const std::string &fallback = "") const;
+    std::int64_t asInt(std::int64_t fallback = 0) const;
+    double asDouble(double fallback = 0.0) const;
+    bool asBool(bool fallback = false) const;
+};
+
+/**
+ * Parse @p text into @p out. The whole input must be one JSON value
+ * (plus whitespace); returns false with a position-annotated @p error
+ * on malformed input, nesting deeper than 64 levels, or integer
+ * overflow.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &error);
+
+/** Quote + escape @p text as a JSON string literal (with the quotes). */
+std::string jsonQuote(const std::string &text);
+
+} // namespace pom::support
+
+#endif // POM_SUPPORT_JSON_H

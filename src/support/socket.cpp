@@ -1,0 +1,222 @@
+#include "support/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace pom::support {
+
+namespace {
+
+std::string
+errnoString(const std::string &what)
+{
+    return what + ": " + std::strerror(errno);
+}
+
+bool
+fillAddress(const std::string &path, sockaddr_un &addr, std::string &error)
+{
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        error = "socket path '" + path + "' is empty or too long (max " +
+                std::to_string(sizeof(addr.sun_path) - 1) + " bytes)";
+        return false;
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+void
+Socket::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Socket
+listenUnix(const std::string &path, int backlog, std::string &error)
+{
+    sockaddr_un addr;
+    if (!fillAddress(path, addr, error))
+        return Socket();
+    Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!s.valid()) {
+        error = errnoString("socket");
+        return Socket();
+    }
+    // A previous daemon that crashed leaves the socket file behind;
+    // bind() would fail with EADDRINUSE. A *live* daemon is still
+    // protected: we only unlink after a probe connect fails.
+    if (::connect(s.fd(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) == 0) {
+        error = "'" + path + "' already has a listening daemon";
+        return Socket();
+    }
+    ::unlink(path.c_str());
+    if (::bind(s.fd(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        error = errnoString("bind '" + path + "'");
+        return Socket();
+    }
+    if (::listen(s.fd(), backlog) != 0) {
+        error = errnoString("listen '" + path + "'");
+        return Socket();
+    }
+    return s;
+}
+
+Socket
+connectUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr;
+    if (!fillAddress(path, addr, error))
+        return Socket();
+    Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!s.valid()) {
+        error = errnoString("socket");
+        return Socket();
+    }
+    int rc;
+    do {
+        rc = ::connect(s.fd(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        error = errnoString("connect '" + path + "'");
+        return Socket();
+    }
+    return s;
+}
+
+Socket
+acceptConnection(const Socket &listener, std::string &error)
+{
+    int fd;
+    do {
+        fd = ::accept(listener.fd(), nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+        error = errnoString("accept");
+        return Socket();
+    }
+    return Socket(fd);
+}
+
+int
+waitReadable(const Socket &listener, int millis)
+{
+    pollfd p{};
+    p.fd = listener.fd();
+    p.events = POLLIN;
+    int rc = ::poll(&p, 1, millis);
+    if (rc < 0)
+        return errno == EINTR ? 0 : -1;
+    return rc > 0 ? 1 : 0;
+}
+
+bool
+setRecvTimeout(const Socket &socket, int millis)
+{
+    timeval tv{};
+    tv.tv_sec = millis / 1000;
+    tv.tv_usec = (millis % 1000) * 1000;
+    return ::setsockopt(socket.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv,
+                        sizeof(tv)) == 0;
+}
+
+namespace {
+
+bool
+sendAll(const Socket &socket, const char *data, std::size_t size,
+        std::string &error)
+{
+    std::size_t sent = 0;
+    while (sent < size) {
+        ssize_t n = ::send(socket.fd(), data + sent, size - sent,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = errnoString("send");
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+recvAll(const Socket &socket, char *data, std::size_t size,
+        std::string &error)
+{
+    std::size_t got = 0;
+    while (got < size) {
+        ssize_t n = ::recv(socket.fd(), data + got, size - got, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = errnoString("recv");
+            return false;
+        }
+        if (n == 0) {
+            error = "peer closed the connection mid-frame";
+            return false;
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+sendFrame(const Socket &socket, const std::string &payload,
+          std::string &error)
+{
+    if (payload.size() > 0xffffffffu) {
+        error = "frame too large";
+        return false;
+    }
+    unsigned char header[4];
+    std::size_t n = payload.size();
+    header[0] = static_cast<unsigned char>((n >> 24) & 0xff);
+    header[1] = static_cast<unsigned char>((n >> 16) & 0xff);
+    header[2] = static_cast<unsigned char>((n >> 8) & 0xff);
+    header[3] = static_cast<unsigned char>(n & 0xff);
+    return sendAll(socket, reinterpret_cast<char *>(header), 4, error) &&
+           sendAll(socket, payload.data(), payload.size(), error);
+}
+
+bool
+recvFrame(const Socket &socket, std::string &payload, std::size_t maxBytes,
+          std::string &error)
+{
+    unsigned char header[4];
+    if (!recvAll(socket, reinterpret_cast<char *>(header), 4, error))
+        return false;
+    std::size_t n = (static_cast<std::size_t>(header[0]) << 24) |
+                    (static_cast<std::size_t>(header[1]) << 16) |
+                    (static_cast<std::size_t>(header[2]) << 8) |
+                    static_cast<std::size_t>(header[3]);
+    if (n > maxBytes) {
+        error = "frame of " + std::to_string(n) +
+                " bytes exceeds the limit of " + std::to_string(maxBytes);
+        return false;
+    }
+    payload.resize(n);
+    if (n == 0)
+        return true;
+    return recvAll(socket, payload.data(), n, error);
+}
+
+} // namespace pom::support

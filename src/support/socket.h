@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unix-domain socket helpers for the compile service (service/server.h
+ * and the `pomc --connect` client). A deliberately thin layer over the
+ * POSIX API:
+ *
+ *  - Socket: a move-only RAII file-descriptor owner.
+ *  - listenUnix()/connectUnix()/acceptConnection(): AF_UNIX stream
+ *    setup with EINTR retry and error strings instead of errno codes.
+ *  - sendFrame()/recvFrame(): the length-prefixed message framing the
+ *    wire protocol uses -- a 4-byte big-endian payload length followed
+ *    by the payload bytes. recvFrame() enforces a caller-supplied size
+ *    cap so a corrupt or hostile peer cannot make us allocate
+ *    gigabytes.
+ *
+ * All calls are blocking; callers that need timeouts set them with
+ * setRecvTimeout(). Writes use MSG_NOSIGNAL, so a vanished peer yields
+ * an error return rather than SIGPIPE.
+ */
+
+#ifndef POM_SUPPORT_SOCKET_H
+#define POM_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <string>
+
+namespace pom::support {
+
+/** Move-only owner of a POSIX file descriptor (-1 = empty). */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { reset(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close the descriptor now (idempotent). */
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Create, bind and listen on an AF_UNIX stream socket at @p path. A
+ * stale socket file left by a dead daemon is unlinked first; @p path
+ * must fit in sockaddr_un (~107 bytes). Returns an invalid Socket with
+ * @p error set on failure.
+ */
+Socket listenUnix(const std::string &path, int backlog,
+                  std::string &error);
+
+/** Connect to a listening AF_UNIX socket. */
+Socket connectUnix(const std::string &path, std::string &error);
+
+/**
+ * Accept one connection from @p listener. Blocks; returns an invalid
+ * Socket with @p error set on failure (including EINTR-free shutdown
+ * via closing the listener from another thread).
+ */
+Socket acceptConnection(const Socket &listener, std::string &error);
+
+/**
+ * Wait up to @p millis for @p listener to become readable (i.e. a
+ * pending connection). Returns +1 when readable, 0 on timeout, -1 on
+ * error. Lets an accept loop poll a shutdown flag between waits.
+ */
+int waitReadable(const Socket &listener, int millis);
+
+/** Receive timeout for subsequent reads (0 restores blocking). */
+bool setRecvTimeout(const Socket &socket, int millis);
+
+/**
+ * Send one length-prefixed frame (4-byte big-endian length + payload).
+ */
+bool sendFrame(const Socket &socket, const std::string &payload,
+               std::string &error);
+
+/**
+ * Receive one length-prefixed frame into @p payload. Frames longer
+ * than @p maxBytes (or a cleanly closed peer) are errors.
+ */
+bool recvFrame(const Socket &socket, std::string &payload,
+               std::size_t maxBytes, std::string &error);
+
+} // namespace pom::support
+
+#endif // POM_SUPPORT_SOCKET_H

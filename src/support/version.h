@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The single POM version constant. Everything that must agree across a
+ * process boundary is stamped with it:
+ *
+ *  - `pomc --version` / `pomd --version` print it,
+ *  - every wire-protocol request/response carries it (the daemon
+ *    rejects a mismatched client with a clean error),
+ *  - every on-disk estimator-cache entry and index embeds it (a loader
+ *    seeing a different version reports a clean format error instead of
+ *    misreading bytes).
+ *
+ * Bump it whenever the wire protocol or the cache entry format changes
+ * shape; old daemons/caches then fail loudly rather than corrupt.
+ */
+
+#ifndef POM_SUPPORT_VERSION_H
+#define POM_SUPPORT_VERSION_H
+
+namespace pom::support {
+
+/** The POM release version (also the wire/cache compatibility token). */
+inline constexpr char kVersionString[] = "0.6.0";
+
+/** Wire protocol identifier (service/protocol.h frames). */
+inline constexpr char kProtocolName[] = "pom-service/1";
+
+/** On-disk estimator-cache entry/index format identifier. */
+inline constexpr char kCacheFormatName[] = "pom-estimator-cache/1";
+
+} // namespace pom::support
+
+#endif // POM_SUPPORT_VERSION_H

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Tests for the pomd compile service: protocol encode/decode, version
+ * gating, in-process request execution, and full socket round-trips --
+ * including the load-bearing property that a daemon-served DSE journal
+ * is byte-identical to the one-shot `pomc` equivalent, under
+ * concurrency, and that a full queue answers "busy" instead of
+ * queueing unboundedly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "hls/estimator_cache.h"
+#include "ir/parser.h"
+#include "lower/lower.h"
+#include "obs/journal.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "support/version.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace pom;
+
+std::string
+scratchSocket(const std::string &name)
+{
+    std::string path = ::testing::TempDir() + "pom_" + name + ".sock";
+    std::filesystem::remove(path);
+    return path;
+}
+
+service::Request
+compileRequest(const std::string &workload, std::int64_t size,
+               const std::string &journal = "none")
+{
+    service::Request req;
+    req.version = support::kVersionString;
+    req.method = "compile";
+    req.workload = workload;
+    req.size = size;
+    req.framework = "pom";
+    req.journal = journal;
+    return req;
+}
+
+/** The journal bytes a one-shot `pomc --frontier-out` run would write. */
+std::string
+oneShotJournalV2(const std::string &workload, std::int64_t size)
+{
+    auto w = workloads::makeByName(workload, size);
+    baselines::BaselineOptions opt;
+    auto result = baselines::runPom(w->func(), opt);
+    return obs::journalJsonV2(result.journal, result.frontierRounds);
+}
+
+TEST(Protocol, RequestRoundTrip)
+{
+    service::Request req = compileRequest("gemm", 256, "v2");
+    req.strategy = "beam";
+    req.resourceFraction = 0.75;
+    req.emit = true;
+
+    service::Request decoded;
+    std::string error;
+    ASSERT_TRUE(service::decodeRequest(service::encodeRequest(req),
+                                       decoded, error))
+        << error;
+    EXPECT_EQ(decoded.version, req.version);
+    EXPECT_EQ(decoded.method, "compile");
+    EXPECT_EQ(decoded.workload, "gemm");
+    EXPECT_EQ(decoded.size, 256);
+    EXPECT_EQ(decoded.strategy, "beam");
+    EXPECT_EQ(decoded.resourceFraction, 0.75);
+    EXPECT_TRUE(decoded.emit);
+    EXPECT_EQ(decoded.journal, "v2");
+}
+
+TEST(Protocol, ResponseRoundTripIncludingBusy)
+{
+    service::Response busy;
+    busy.status = "busy";
+    busy.retryAfterMs = 150;
+    service::Response decoded;
+    std::string error;
+    ASSERT_TRUE(service::decodeResponse(service::encodeResponse(busy),
+                                        decoded, error))
+        << error;
+    EXPECT_EQ(decoded.status, "busy");
+    EXPECT_EQ(decoded.retryAfterMs, 150);
+
+    service::Response ok;
+    ok.reportLine = "latency=1 cycles";
+    ok.journalText = "{\"schema\": \"pom-dse-journal/v2\"}";
+    ok.cacheHits = 7;
+    ASSERT_TRUE(service::decodeResponse(service::encodeResponse(ok),
+                                        decoded, error))
+        << error;
+    EXPECT_EQ(decoded.status, "ok");
+    EXPECT_EQ(decoded.reportLine, ok.reportLine);
+    EXPECT_EQ(decoded.journalText, ok.journalText);
+    EXPECT_EQ(decoded.cacheHits, 7);
+}
+
+TEST(Protocol, MalformedPayloadsAreErrors)
+{
+    service::Request req;
+    std::string error;
+    EXPECT_FALSE(service::decodeRequest("not json", req, error));
+    EXPECT_FALSE(service::decodeRequest("{}", req, error));
+    EXPECT_NE(error.find("method"), std::string::npos);
+
+    service::Response resp;
+    EXPECT_FALSE(service::decodeResponse("{\"pom\": \"x\"}", resp,
+                                         error));
+    EXPECT_NE(error.find("status"), std::string::npos);
+}
+
+TEST(Server, RejectsVersionMismatchCleanly)
+{
+    service::Server server(service::ServerOptions{});
+    service::Request req = compileRequest("gemm", 64);
+    req.version = "0.0.1";
+    service::Response resp = server.execute(req);
+    EXPECT_EQ(resp.status, "error");
+    EXPECT_NE(resp.error.find("version mismatch"), std::string::npos);
+}
+
+TEST(Server, RejectsBadRequestsWithoutDying)
+{
+    service::Server server(service::ServerOptions{});
+
+    service::Request unknown;
+    unknown.version = support::kVersionString;
+    unknown.method = "frobnicate";
+    EXPECT_EQ(server.execute(unknown).status, "error");
+
+    service::Request bad_workload = compileRequest("nope", 64);
+    service::Response resp = server.execute(bad_workload);
+    EXPECT_EQ(resp.status, "error");
+    EXPECT_NE(resp.error.find("unknown workload"), std::string::npos);
+
+    service::Request bad_strategy = compileRequest("gemm", 64);
+    bad_strategy.strategy = "bogus";
+    resp = server.execute(bad_strategy);
+    EXPECT_EQ(resp.status, "error");
+    EXPECT_NE(resp.error.find("unknown strategy"), std::string::npos);
+
+    service::Request v2_baseline = compileRequest("gemm", 64, "v2");
+    v2_baseline.framework = "pluto";
+    resp = server.execute(v2_baseline);
+    EXPECT_EQ(resp.status, "error");
+
+    // A parse error inside "opt" comes back as an error response.
+    service::Request bad_ir;
+    bad_ir.version = support::kVersionString;
+    bad_ir.method = "opt";
+    bad_ir.ir = "this is not pom-ir";
+    resp = server.execute(bad_ir);
+    EXPECT_EQ(resp.status, "error");
+
+    // The server still works after all those failures.
+    service::Request ping;
+    ping.version = support::kVersionString;
+    ping.method = "ping";
+    EXPECT_EQ(server.execute(ping).status, "ok");
+}
+
+TEST(Server, CompileMatchesOneShotJournalByteForByte)
+{
+    hls::EstimatorCache::global().clear();
+    std::string direct = oneShotJournalV2("gemm", 64);
+
+    service::Server server(service::ServerOptions{});
+    service::Response resp =
+        server.execute(compileRequest("gemm", 64, "v2"));
+    ASSERT_EQ(resp.status, "ok") << resp.error;
+    EXPECT_EQ(resp.journalText, direct);
+    EXPECT_FALSE(resp.reportLine.empty());
+    hls::EstimatorCache::global().clear();
+}
+
+TEST(Server, OptMethodMatchesDirectPipeline)
+{
+    lower::registerLoweringPasses();
+    std::ifstream in(std::string(POM_REGRESSION_DIR) +
+                     "/gemm_default.pom-ir");
+    ASSERT_TRUE(in.good());
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    service::Request req;
+    req.version = support::kVersionString;
+    req.method = "opt";
+    req.ir = text.str();
+    req.pipeline = "verify";
+
+    service::Server server(service::ServerOptions{});
+    service::Response resp = server.execute(req);
+    ASSERT_EQ(resp.status, "ok") << resp.error;
+    // Round-trip identity: with a non-mutating pipeline the service
+    // returns the canonical printing of the parsed module.
+    EXPECT_EQ(resp.irOut, ir::parseIr(text.str())->str());
+}
+
+TEST(ServiceSocket, PingStatsAndShutdown)
+{
+    service::ServerOptions options;
+    options.socketPath = scratchSocket("ping");
+    service::Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    std::thread loop([&server]() { server.run(); });
+
+    service::Request ping;
+    ping.version = support::kVersionString;
+    ping.method = "ping";
+    service::Response resp;
+    ASSERT_TRUE(service::callDaemon(options.socketPath, ping, resp,
+                                    error))
+        << error;
+    EXPECT_EQ(resp.status, "ok");
+    EXPECT_EQ(resp.version, support::kVersionString);
+
+    service::Request stats;
+    stats.version = support::kVersionString;
+    stats.method = "stats";
+    ASSERT_TRUE(service::callDaemon(options.socketPath, stats, resp,
+                                    error))
+        << error;
+    EXPECT_EQ(resp.status, "ok");
+    EXPECT_GE(resp.requestsServed, 1);
+
+    service::Request shutdown;
+    shutdown.version = support::kVersionString;
+    shutdown.method = "shutdown";
+    ASSERT_TRUE(service::callDaemon(options.socketPath, shutdown, resp,
+                                    error))
+        << error;
+    EXPECT_EQ(resp.status, "ok");
+    loop.join();
+}
+
+TEST(ServiceSocket, ConcurrentCompilesMatchOneShotByteForByte)
+{
+    hls::EstimatorCache::global().clear();
+    const std::vector<std::pair<std::string, std::int64_t>> jobs = {
+        {"gemm", 64}, {"gemm", 32}, {"bicg", 64}, {"gemm", 64},
+        {"bicg", 64}, {"gemm", 32}, {"gemm", 64}, {"bicg", 64},
+    };
+    std::vector<std::string> expected;
+    for (const auto &[name, size] : jobs)
+        expected.push_back(oneShotJournalV2(name, size));
+
+    service::ServerOptions options;
+    options.socketPath = scratchSocket("conc");
+    options.workers = 4;
+    service::Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    std::thread loop([&server]() { server.run(); });
+
+    std::vector<std::string> served(jobs.size());
+    std::vector<std::string> failures(jobs.size());
+    std::vector<std::thread> clients;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        clients.emplace_back([&, i]() {
+            service::Response resp;
+            std::string client_error;
+            if (!service::callDaemon(
+                    options.socketPath,
+                    compileRequest(jobs[i].first, jobs[i].second, "v2"),
+                    resp, client_error)) {
+                failures[i] = client_error;
+                return;
+            }
+            if (resp.status != "ok") {
+                failures[i] = resp.error;
+                return;
+            }
+            served[i] = resp.journalText;
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    server.stop();
+    loop.join();
+
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_TRUE(failures[i].empty()) << failures[i];
+        EXPECT_EQ(served[i], expected[i]) << jobs[i].first;
+    }
+    hls::EstimatorCache::global().clear();
+}
+
+TEST(ServiceSocket, FullQueueAnswersBusyWithRetryHint)
+{
+    service::ServerOptions options;
+    options.socketPath = scratchSocket("busy");
+    options.workers = 1;
+    options.queueLimit = 1;
+    options.retryAfterMs = 50;
+    service::Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    std::thread loop([&server]() { server.run(); });
+
+    // Occupy the only slot for a while...
+    service::Request sleeper;
+    sleeper.version = support::kVersionString;
+    sleeper.method = "sleep";
+    sleeper.size = 800;
+    std::thread holder([&]() {
+        service::Response resp;
+        std::string holder_error;
+        EXPECT_TRUE(service::callDaemon(options.socketPath, sleeper,
+                                        resp, holder_error))
+            << holder_error;
+        EXPECT_EQ(resp.status, "ok");
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+    // ... a raw single-shot client (zero retries) must see "busy" ...
+    service::Request probe;
+    probe.version = support::kVersionString;
+    probe.method = "sleep";
+    probe.size = 1;
+    service::Response resp;
+    EXPECT_FALSE(service::callDaemon(options.socketPath, probe, resp,
+                                     error, /*busyRetries=*/0));
+    EXPECT_NE(error.find("busy"), std::string::npos) << error;
+
+    // ... while control methods bypass the queue entirely.
+    service::Request ping;
+    ping.version = support::kVersionString;
+    ping.method = "ping";
+    service::Response ping_resp;
+    std::string ping_error;
+    EXPECT_TRUE(service::callDaemon(options.socketPath, ping,
+                                    ping_resp, ping_error))
+        << ping_error;
+    EXPECT_EQ(ping_resp.status, "ok");
+
+    // A retrying client rides out the backpressure and succeeds.
+    service::Response retried;
+    std::string retry_error;
+    EXPECT_TRUE(service::callDaemon(options.socketPath, probe, retried,
+                                    retry_error))
+        << retry_error;
+    EXPECT_EQ(retried.status, "ok");
+
+    holder.join();
+    server.stop();
+    loop.join();
+}
+
+} // namespace

@@ -8,7 +8,10 @@
  *        FRACTION] [--jobs N] [--emit] [--ast] [--dsl] [--verify]
  *        [--fuzz N] [--seed S] [--timing] [--trace-out FILE]
  *        [--metrics-out FILE] [--dse-journal FILE] [--frontier-out FILE]
- *        [--replay-journal FILE --point ID] [--quiet|-q] [--verbose|-v]
+ *        [--replay-journal FILE --point ID] [--cache-dir DIR]
+ *        [--connect SOCK] [--quiet|-q] [--verbose|-v]
+ *   pomc --connect SOCK --daemon-stats | --daemon-shutdown
+ *   pomc --version
  *
  * Compiles one of the built-in benchmark workloads (see `pomc --list`)
  * and prints the synthesis report; optionally the generated HLS C
@@ -68,10 +71,33 @@
  *                       size must match the recording run. Combine with
  *                       --emit to regenerate the point's HLS C.
  *
+ * Persistent estimator cache (src/hls/estimator_cache.h):
+ *   --cache-dir DIR     load the content-addressed estimator-cache
+ *                       spill from DIR before the run and save it
+ *                       after, so a later run (or a pomd daemon using
+ *                       the same DIR) warm-starts with dse.cache.hits
+ *                       instead of re-estimating. Same on-disk format
+ *                       as `pomd --cache-dir`.
+ *
+ * Daemon client mode (src/service):
+ *   --connect SOCK      send the compile to a running `pomd` daemon at
+ *                       Unix socket SOCK instead of compiling in
+ *                       process. The printed report and any
+ *                       --dse-journal/--frontier-out file are
+ *                       byte-identical to the one-shot run. "busy"
+ *                       backpressure responses are retried with the
+ *                       daemon's hint.
+ *   --daemon-stats      print the daemon's request/cache counters.
+ *   --daemon-shutdown   ask the daemon to spill its cache and exit.
+ *   --version           print the POM version (also stamped into the
+ *                       wire protocol and the cache spill format).
+ *
  * Examples:
  *   pomc gemm 1024 --dse --jobs 8
  *   pomc gemm 256 --dse --dse-journal j.json
  *   pomc gemm 256 --replay-journal j.json --point 5 --emit
+ *   pomc gemm 256 --dse --cache-dir .pom-cache
+ *   pomc gemm 256 --dse --connect pomd.sock --frontier-out f.json
  *
  * Examples:
  *   pomc gemm 1024 --dse --emit
@@ -93,13 +119,17 @@
 #include "check/oracle.h"
 #include "driver/compiler.h"
 #include "dse/dse.h"
+#include "dse/strategy.h"
 #include "emit/hls_emitter.h"
+#include "hls/estimator_cache.h"
 #include "obs/journal.h"
 #include "obs/obs.h"
 #include "pass/pass_manager.h"
+#include "service/client.h"
 #include "support/diagnostics.h"
 #include "support/string_util.h"
 #include "support/thread_pool.h"
+#include "support/version.h"
 #include "workloads/workloads.h"
 
 using namespace pom;
@@ -118,9 +148,12 @@ usage(const char *argv0)
                  "[--trace-out FILE] [--metrics-out FILE] "
                  "[--dse-journal FILE] [--frontier-out FILE] "
                  "[--replay-journal FILE --point ID] "
+                 "[--cache-dir DIR] [--connect SOCK] "
                  "[--quiet|-q] [--verbose|-v]\n"
-                 "       %s --list\n",
-                 argv0, argv0);
+                 "       %s --connect SOCK --daemon-stats | "
+                 "--daemon-shutdown\n"
+                 "       %s --version | --list\n",
+                 argv0, argv0, argv0);
     return 2;
 }
 
@@ -171,6 +204,8 @@ main(int argc, char **argv)
     std::string replay_journal;
     int replay_point = -1;
     dse::StrategyKind strategy = dse::StrategyKind::Greedy;
+    std::string connect_sock, cache_dir;
+    bool daemon_stats = false, daemon_shutdown = false;
 
     // --strategy is accepted both space- and '='-separated; an unknown
     // name is a hard error (never a silent fallback to greedy).
@@ -189,6 +224,19 @@ main(int argc, char **argv)
             for (const auto &w : workloads::allNames())
                 std::printf("%s\n", w.c_str());
             return 0;
+        } else if (arg == "--version") {
+            std::printf("pomc %s (protocol %s, cache %s)\n",
+                        support::kVersionString, support::kProtocolName,
+                        support::kCacheFormatName);
+            return 0;
+        } else if (arg == "--connect" && a + 1 < argc) {
+            connect_sock = argv[++a];
+        } else if (arg == "--cache-dir" && a + 1 < argc) {
+            cache_dir = argv[++a];
+        } else if (arg == "--daemon-stats") {
+            daemon_stats = true;
+        } else if (arg == "--daemon-shutdown") {
+            daemon_shutdown = true;
         } else if (arg == "--trace-out" && a + 1 < argc) {
             trace_out = argv[++a];
         } else if (arg == "--metrics-out" && a + 1 < argc) {
@@ -281,6 +329,47 @@ main(int argc, char **argv)
         }
     }
 
+    // Daemon control methods need a socket but no workload.
+    if (daemon_stats || daemon_shutdown) {
+        if (connect_sock.empty()) {
+            std::fprintf(stderr, "pomc: --daemon-stats and "
+                                 "--daemon-shutdown require "
+                                 "--connect SOCK\n");
+            return 2;
+        }
+        service::Request req;
+        req.version = support::kVersionString;
+        req.method = daemon_stats ? "stats" : "shutdown";
+        service::Response resp;
+        std::string error;
+        if (!service::callDaemon(connect_sock, req, resp, error)) {
+            std::fprintf(stderr, "pomc: %s\n", error.c_str());
+            return 1;
+        }
+        if (resp.status != "ok") {
+            std::fprintf(stderr, "pomc: daemon error: %s\n",
+                         resp.error.c_str());
+            return 1;
+        }
+        if (daemon_stats) {
+            std::printf("daemon:    %s (version %s)\n",
+                        connect_sock.c_str(), resp.version.c_str());
+            std::printf("requests:  %lld served, %lld queued\n",
+                        static_cast<long long>(resp.requestsServed),
+                        static_cast<long long>(resp.queueDepth));
+            std::printf("cache:     %lld hits, %lld misses, %lld "
+                        "entries (%lld loaded from disk)\n",
+                        static_cast<long long>(resp.cacheHits),
+                        static_cast<long long>(resp.cacheMisses),
+                        static_cast<long long>(resp.cacheSize),
+                        static_cast<long long>(resp.cacheLoaded));
+        } else {
+            std::printf("daemon at %s shut down\n",
+                        connect_sock.c_str());
+        }
+        return 0;
+    }
+
     if (name.empty())
         return usage(argv[0]);
     if (!workloads::isKnown(name)) {
@@ -288,6 +377,75 @@ main(int argc, char **argv)
                      "pomc: unknown workload '%s' (try --list)\n",
                      name.c_str());
         return 2;
+    }
+
+    // Client mode: ship the compile to a pomd daemon. Journals come
+    // back in the response, byte-identical to a one-shot run; local
+    // obs stays off so nothing is double-recorded.
+    if (!connect_sock.empty()) {
+        if (fuzz_cases > 0 || want_verify || !replay_journal.empty() ||
+            want_ast || want_dsl || !cache_dir.empty()) {
+            std::fprintf(stderr,
+                         "pomc: --connect supports plain compile runs "
+                         "only (no --fuzz/--verify/--replay-journal/"
+                         "--ast/--dsl/--cache-dir; the daemon owns the "
+                         "cache)\n");
+            return 2;
+        }
+        if (!journal_out.empty() && !frontier_out.empty()) {
+            std::fprintf(stderr,
+                         "pomc: --connect returns one journal per "
+                         "request; pick --dse-journal or "
+                         "--frontier-out\n");
+            return 2;
+        }
+        if (!frontier_out.empty() && framework != "pom") {
+            std::fprintf(stderr, "pomc: --frontier-out requires a POM "
+                                 "DSE run (--dse or --framework pom)\n");
+            return 2;
+        }
+        service::Request req;
+        req.version = support::kVersionString;
+        req.method = "compile";
+        req.workload = name;
+        req.size = size;
+        req.framework = framework;
+        req.strategy = dse::strategyName(strategy);
+        req.resourceFraction = fraction;
+        req.emit = want_emit;
+        if (!journal_out.empty())
+            req.journal = "v1";
+        else if (!frontier_out.empty())
+            req.journal = "v2";
+        service::Response resp;
+        std::string error;
+        if (!service::callDaemon(connect_sock, req, resp, error)) {
+            std::fprintf(stderr, "pomc: %s\n", error.c_str());
+            return 1;
+        }
+        if (resp.status != "ok") {
+            std::fprintf(stderr, "pomc: daemon error: %s\n",
+                         resp.error.c_str());
+            return 1;
+        }
+        const std::string &journal_file =
+            journal_out.empty() ? frontier_out : journal_out;
+        if (!journal_file.empty() &&
+            !obs::writeFile(journal_file, resp.journalText)) {
+            std::fprintf(stderr, "pomc: cannot write '%s'\n",
+                         journal_file.c_str());
+            return 1;
+        }
+        std::printf("workload:  %s (size %lld)\n", name.c_str(),
+                    static_cast<long long>(size));
+        std::printf("framework: %s (%s)\n", framework.c_str(),
+                    resp.notes.c_str());
+        std::printf("report:    %s\n", resp.reportLine.c_str());
+        std::printf("toolchain: %.2f s (daemon at %s)\n", resp.seconds,
+                    connect_sock.c_str());
+        if (want_emit)
+            std::printf("\n---- HLS C ----\n%s", resp.hlsC.c_str());
+        return 0;
     }
 
     if (want_timing)
@@ -324,6 +482,37 @@ main(int argc, char **argv)
             }
         }
     } flusher{trace_out, metrics_out, journal_out};
+
+    // Persistent estimator cache: warm-load before the run, spill on
+    // every exit path (the spill is incremental and content-addressed,
+    // so re-saving unchanged entries is cheap).
+    hls::SpillStats cache_stats;
+    if (!cache_dir.empty()) {
+        std::string cache_error;
+        if (!hls::EstimatorCache::global().loadDir(
+                cache_dir, cache_stats, cache_error)) {
+            std::fprintf(stderr, "pomc: %s\n", cache_error.c_str());
+            return 1;
+        }
+    }
+    struct CacheSpiller
+    {
+        std::string dir;
+
+        ~CacheSpiller()
+        {
+            if (dir.empty())
+                return;
+            hls::SpillStats stats;
+            std::string error;
+            if (!hls::EstimatorCache::global().saveDir(dir, stats,
+                                                       error)) {
+                std::fprintf(stderr,
+                             "pomc: cache spill failed: %s\n",
+                             error.c_str());
+            }
+        }
+    } spiller{cache_dir};
 
     try {
         obs::Span root_span("pomc:" + name, "tool");
@@ -449,6 +638,14 @@ main(int argc, char **argv)
                     result.notes.c_str());
         std::printf("report:    %s\n", result.report.str(device).c_str());
         std::printf("toolchain: %.2f s\n", result.seconds);
+        if (!cache_dir.empty()) {
+            auto &cache = hls::EstimatorCache::global();
+            std::printf("cache:     %llu hits, %llu misses (%zu "
+                        "entries loaded from %s)\n",
+                        static_cast<unsigned long long>(cache.hits()),
+                        static_cast<unsigned long long>(cache.misses()),
+                        cache_stats.loaded, cache_dir.c_str());
+        }
 
         if (want_verify) {
             check::OracleOptions oracle;
