@@ -12,12 +12,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 #include <vector>
 
 #include "baselines/baselines.h"
 #include "hls/count.h"
 #include "obs/obs.h"
+#include "support/version.h"
 #include "workloads/workloads.h"
 
 namespace pom::benchutil {
@@ -160,13 +162,65 @@ recordMeasurement(const std::string &table, const std::string &row,
     obs::counterAdd("bench.measurements");
 }
 
-/** Flush the metrics captured by recordMeasurement() to `path`. */
+/**
+ * The git SHA to stamp into bench output: the POM_BENCH_SHA override
+ * when set (CI passes the exact commit being measured), else
+ * `git rev-parse --short HEAD`, else "unknown" (a source tarball).
+ */
+inline std::string
+benchGitSha()
+{
+    if (const char *env = std::getenv("POM_BENCH_SHA")) {
+        if (env[0] != '\0')
+            return env;
+    }
+    std::string sha;
+    if (FILE *pipe = ::popen("git rev-parse --short HEAD 2>/dev/null",
+                             "r")) {
+        char buf[64];
+        if (std::fgets(buf, sizeof(buf), pipe) != nullptr)
+            sha = buf;
+        ::pclose(pipe);
+    }
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+        sha.pop_back();
+    return sha.empty() ? "unknown" : sha;
+}
+
+/** Current UTC time as ISO-8601 ("2026-08-08T12:34:56Z"). */
+inline std::string
+benchTimestamp()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    return buf;
+}
+
+/**
+ * Flush the metrics captured by recordMeasurement() to `path` as a
+ * self-describing pom-bench/v1 document: the pom-metrics/v1 payload
+ * plus version/sha/timestamp header keys, so trend records
+ * (tools/pom-trend) need no side channel to identify the commit.
+ */
 inline void
 writeBenchMetrics(const std::string &path)
 {
     if (path.empty())
         return;
-    if (!obs::writeFile(path, obs::metricsJson()))
+    std::string body = obs::metricsJson();
+    const std::string metricsHeader = "{\"schema\": \"pom-metrics/v1\",";
+    if (body.rfind(metricsHeader, 0) == 0) {
+        std::string header =
+            "{\"schema\": \"pom-bench/v1\", \"version\": \"" +
+            std::string(support::kVersionString) + "\", \"sha\": \"" +
+            obs::jsonEscape(benchGitSha()) + "\", \"timestamp\": \"" +
+            benchTimestamp() + "\",";
+        body = header + body.substr(metricsHeader.size());
+    }
+    if (!obs::writeFile(path, body))
         std::fprintf(stderr, "bench: cannot write '%s'\n", path.c_str());
 }
 

@@ -147,6 +147,11 @@ main()
     gauge("sweep.cold_pool_seconds", cold_par);
     gauge("sweep.pool_threads", threads);
     gauge("sweep.pool_speedup", pool_speedup);
+    // Deterministic QoR series: the summed best latency across the
+    // sweep. Hardware-independent, so the trend gate can hold it to a
+    // tight threshold (a change means the search got better or worse,
+    // never "the CI machine was busy").
+    gauge("sweep.latency_cycles_sum", static_cast<double>(sum1));
 
     // 2. Memoization: the identical sweep against the cache the
     // pool run just filled.

@@ -41,6 +41,29 @@ struct Unit
     bool open = true;
 };
 
+/**
+ * RAII sampler for the per-point estimate-latency histogram. Gated on
+ * metricsEnabled() so the DSE hot loop pays one atomic load when
+ * metrics are off.
+ */
+struct PointLatencyTimer
+{
+    bool active = obs::metricsEnabled();
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+
+    ~PointLatencyTimer()
+    {
+        if (!active)
+            return;
+        obs::histogramRecord(
+            "dse.point_ms",
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    }
+};
+
 std::string
 hintKey(const Hint &h)
 {
@@ -1012,6 +1035,7 @@ class Engine
              const std::vector<Unit> &units)
     {
         obs::Span span("dse.point", "dse");
+        PointLatencyTimer pointTimer;
         Schedules s = scheduleUnits(base, units);
         Evaluation ev;
         ev.primitives = s.primitives;
@@ -1069,6 +1093,7 @@ class Engine
                 const std::vector<Unit> &units)
     {
         obs::Span span("dse.point", "dse");
+        PointLatencyTimer pointTimer;
         Schedules s = scheduleUnits(base, units);
         applyPartitions(func_, s.partitions);
 

@@ -405,10 +405,13 @@ appendEvents(std::ostringstream &os,
 } // namespace
 
 std::string
-journalJson(const std::vector<JournalEntry> &entries)
+journalJson(const std::vector<JournalEntry> &entries,
+            std::int64_t requestId)
 {
     std::ostringstream os;
     os << "{\"schema\": \"pom-dse-journal/v1\", ";
+    if (requestId >= 0)
+        os << "\"request\": " << requestId << ", ";
     appendEvents(os, entries);
     os << "}\n";
     return os.str();
@@ -416,10 +419,13 @@ journalJson(const std::vector<JournalEntry> &entries)
 
 std::string
 journalJsonV2(const std::vector<JournalEntry> &entries,
-              const std::vector<FrontierRound> &rounds)
+              const std::vector<FrontierRound> &rounds,
+              std::int64_t requestId)
 {
     std::ostringstream os;
     os << "{\"schema\": \"pom-dse-journal/v2\", ";
+    if (requestId >= 0)
+        os << "\"request\": " << requestId << ", ";
     appendEvents(os, entries);
     os << ",\n\"frontier\": [";
     bool first_round = true;

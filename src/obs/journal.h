@@ -87,16 +87,25 @@ struct FrontierRound
     std::vector<FrontierPoint> points;
 };
 
-/** Serialize entries as the pom-dse-journal/v1 JSON document. */
-std::string journalJson(const std::vector<JournalEntry> &entries);
+/**
+ * Serialize entries as the pom-dse-journal/v1 JSON document. When
+ * @p requestId >= 0 the header gains a `"request": N` key -- the only
+ * permitted divergence between daemon-served and one-shot journals
+ * (the daemon stamps its monotonic request ID; one-shot runs never
+ * stamp, keeping their documents byte-identical across transports).
+ */
+std::string journalJson(const std::vector<JournalEntry> &entries,
+                        std::int64_t requestId = -1);
 
 /**
  * Serialize entries plus per-round frontier snapshots as the
  * pom-dse-journal/v2 JSON document. The "events" array is byte-for-byte
- * what journalJson emits for the same entries.
+ * what journalJson emits for the same entries. @p requestId behaves as
+ * in journalJson.
  */
 std::string journalJsonV2(const std::vector<JournalEntry> &entries,
-                          const std::vector<FrontierRound> &rounds);
+                          const std::vector<FrontierRound> &rounds,
+                          std::int64_t requestId = -1);
 
 /**
  * Parse a pom-dse-journal/v1 or /v2 document back into entries (the

@@ -6,9 +6,16 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include "support/diagnostics.h"
 
 namespace pom::obs {
 
@@ -31,7 +38,21 @@ struct TraceStore
     std::mutex mutex;
     std::vector<SpanEvent> events;
     std::map<std::thread::id, int> threadIds;
+    /** tid -> display name, emitted as "thread_name" metadata events. */
+    std::map<int, std::string> threadNames;
 };
+
+/** OS-level name of the calling thread ("" when unavailable). */
+std::string
+osThreadName()
+{
+#if defined(__linux__)
+    char buf[32] = {0};
+    if (pthread_getname_np(pthread_self(), buf, sizeof(buf)) == 0)
+        return buf;
+#endif
+    return "";
+}
 
 TraceStore &
 traceStore()
@@ -66,6 +87,12 @@ metricStore()
     return *store;
 }
 
+/**
+ * Small per-process index for @p id, assigned on first sight. Callers
+ * always pass the *calling* thread's id (spans complete on their owning
+ * thread), so first sight is also the one moment we can sample the OS
+ * thread name (set by support::ThreadPool) for trace attribution.
+ */
 int
 threadIdOf(std::thread::id id, TraceStore &store)
 {
@@ -73,8 +100,42 @@ threadIdOf(std::thread::id id, TraceStore &store)
     if (it == store.threadIds.end()) {
         int next = static_cast<int>(store.threadIds.size());
         it = store.threadIds.emplace(id, next).first;
+        std::string name = osThreadName();
+        if (!name.empty())
+            store.threadNames[next] = std::move(name);
     }
     return it->second;
+}
+
+/**
+ * Histogram storage: insertion-ordered names + name -> histogram.
+ * Histograms are stored behind unique_ptr so record() can run outside
+ * the registry mutex (each Histogram has its own lock) and addresses
+ * stay stable across rehashing.
+ */
+struct HistogramStore
+{
+    std::mutex mutex;
+    std::vector<std::string> order;
+    std::map<std::string, std::unique_ptr<Histogram>> byName;
+
+    Histogram &
+    get(const std::string &name)
+    {
+        auto it = byName.find(name);
+        if (it == byName.end()) {
+            order.push_back(name);
+            it = byName.emplace(name, std::make_unique<Histogram>()).first;
+        }
+        return *it->second;
+    }
+};
+
+HistogramStore &
+histogramStore()
+{
+    static HistogramStore *store = new HistogramStore();
+    return *store;
 }
 
 thread_local int t_depth = 0;
@@ -138,6 +199,7 @@ Span::Span(std::string name, std::string category)
     event_.name = std::move(name);
     event_.category = std::move(category);
     event_.depth = t_depth++;
+    event_.requestId = support::currentRequestId();
     event_.startUs = nowMicros();
 }
 
@@ -279,6 +341,76 @@ resetMetricsWithPrefix(const std::string &prefix)
     store.order = std::move(kept);
 }
 
+// ----- histograms --------------------------------------------------------
+
+void
+histogramRecord(const std::string &name, double value)
+{
+    HistogramStore &store = histogramStore();
+    Histogram *histogram = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(store.mutex);
+        histogram = &store.get(name);
+    }
+    histogram->record(value);
+}
+
+Histogram
+histogramSnapshot(const std::string &name)
+{
+    HistogramStore &store = histogramStore();
+    std::lock_guard<std::mutex> lock(store.mutex);
+    auto it = store.byName.find(name);
+    return it == store.byName.end() ? Histogram() : *it->second;
+}
+
+std::vector<std::pair<std::string, Histogram>>
+histogramsSnapshot()
+{
+    HistogramStore &store = histogramStore();
+    std::lock_guard<std::mutex> lock(store.mutex);
+    std::vector<std::pair<std::string, Histogram>> out;
+    out.reserve(store.order.size());
+    for (const auto &name : store.order)
+        out.emplace_back(name, *store.byName.at(name));
+    return out;
+}
+
+void
+resetHistograms()
+{
+    HistogramStore &store = histogramStore();
+    std::lock_guard<std::mutex> lock(store.mutex);
+    store.order.clear();
+    store.byName.clear();
+}
+
+void
+resetHistogramsWithPrefix(const std::string &prefix)
+{
+    HistogramStore &store = histogramStore();
+    std::lock_guard<std::mutex> lock(store.mutex);
+    std::vector<std::string> kept;
+    for (const auto &name : store.order) {
+        if (name.rfind(prefix, 0) == 0)
+            store.byName.erase(name);
+        else
+            kept.push_back(name);
+    }
+    store.order = std::move(kept);
+}
+
+// ----- thread naming -----------------------------------------------------
+
+void
+setCurrentThreadName(const std::string &name)
+{
+    TraceStore &store = traceStore();
+    std::lock_guard<std::mutex> lock(store.mutex);
+    int tid = threadIdOf(std::this_thread::get_id(), store);
+    store.threadNames[tid] = name;
+}
+
 // ----- export ------------------------------------------------------------
 
 std::string
@@ -309,11 +441,29 @@ jsonEscape(const std::string &text)
 std::string
 chromeTraceJson()
 {
+    std::vector<SpanEvent> events;
+    std::map<int, std::string> names;
+    {
+        TraceStore &store = traceStore();
+        std::lock_guard<std::mutex> lock(store.mutex);
+        events = store.events;
+        names = store.threadNames;
+    }
     std::ostringstream os;
     os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
     bool first = true;
     char num[64];
-    for (const auto &e : traceSnapshot()) {
+    // "M"-phase metadata first: thread names, so chrome://tracing labels
+    // each daemon executor / pool worker lane.
+    for (const auto &[tid, name] : names) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+           << "\"tid\": " << tid << ", \"args\": {\"name\": \""
+           << jsonEscape(name) << "\"}}";
+    }
+    for (const auto &e : events) {
         if (!first)
             os << ",";
         first = false;
@@ -325,6 +475,8 @@ chromeTraceJson()
         std::snprintf(num, sizeof(num), "%.3f", e.durationUs);
         os << ", \"dur\": " << num;
         os << ", \"args\": {\"depth\": " << e.depth;
+        if (e.requestId != 0)
+            os << ", \"req\": " << e.requestId;
         for (const auto &[key, value] : e.args)
             os << ", \"" << jsonEscape(key) << "\": " << value;
         os << "}}";
@@ -352,6 +504,17 @@ metricsJson()
         os << "\n  {\"name\": \"" << jsonEscape(name) << "\", \"kind\": \""
            << kind << "\", \"count\": " << m.count << ", \"value\": " << num
            << "}";
+    }
+    // Histograms ride in the same array as a fourth kind; the body of
+    // Histogram::json() (summary + sparse buckets) is spliced in.
+    for (const auto &[name, histogram] : histogramsSnapshot()) {
+        if (!first)
+            os << ",";
+        first = false;
+        std::string body = histogram.json();
+        // body is "{...}": splice its fields after our name/kind header.
+        os << "\n  {\"name\": \"" << jsonEscape(name)
+           << "\", \"kind\": \"histogram\", " << body.substr(1);
     }
     os << "\n]}\n";
     return os.str();

@@ -9,6 +9,9 @@
  *  - **Counters / accumulators / gauges**: named process-wide metrics.
  *    Counters are monotonically-increasing int64 values, accumulators
  *    sum doubles (wall-clock seconds), gauges keep the last value set.
+ *  - **Histograms** (histogram.h): named fixed-bucket log-scale latency
+ *    distributions with p50/p90/p99 extraction, serialized into the
+ *    same metrics JSON (kind "histogram").
  *  - **Exporters**: the Chrome trace-event JSON format for spans and a
  *    flat machine-readable JSON report for metrics. The DSE search
  *    journal (journal.h) shares the same JSON conventions.
@@ -26,6 +29,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/histogram.h"
 
 namespace pom::obs {
 
@@ -61,6 +66,9 @@ struct SpanEvent
     double durationUs = 0.0;
     int threadId = 0; ///< small per-process thread index, 0 = first seen
     int depth = 0;    ///< nesting depth within the owning thread
+    /** Correlated daemon request (support::currentRequestId() at span
+     *  construction); 0 outside a request. Exported as arg "req". */
+    std::int64_t requestId = 0;
     /** Extra key/value payload; values are pre-encoded JSON terms. */
     std::vector<std::pair<std::string, std::string>> args;
 };
@@ -128,6 +136,39 @@ void resetMetrics();
 
 /** Drop the metrics whose name starts with @p prefix. */
 void resetMetricsWithPrefix(const std::string &prefix);
+
+// ----- histograms --------------------------------------------------------
+
+/**
+ * Record one sample into the named process-wide histogram (created on
+ * first touch). Unlike counters, histogram sites are expected to gate
+ * themselves on metricsEnabled() when they sit on a hot path.
+ */
+void histogramRecord(const std::string &name, double value);
+
+/** Snapshot of one named histogram; empty histogram when unknown. */
+Histogram histogramSnapshot(const std::string &name);
+
+/** All named histograms in first-touch order (copied snapshots). */
+std::vector<std::pair<std::string, Histogram>> histogramsSnapshot();
+
+/** Drop every named histogram. */
+void resetHistograms();
+
+/** Drop the histograms whose name starts with @p prefix. */
+void resetHistogramsWithPrefix(const std::string &prefix);
+
+// ----- thread naming -----------------------------------------------------
+
+/**
+ * Name the calling thread for trace attribution: the name appears as a
+ * Chrome-trace "thread_name" metadata event for this thread's tid, so
+ * concurrent request traces are attributable in chrome://tracing.
+ * Threads that never call this inherit their OS-level thread name (set
+ * by support::ThreadPool for its workers) the first time they complete
+ * a span.
+ */
+void setCurrentThreadName(const std::string &name);
 
 // ----- export ------------------------------------------------------------
 

@@ -166,6 +166,7 @@ constexpr const char *kPipelineRuns = "pass.pipeline_runs";
 constexpr const char *kRunsPrefix = "pass.runs.";
 constexpr const char *kSecondsPrefix = "pass.seconds.";
 constexpr const char *kStatPrefix = "pass.stat.";
+constexpr const char *kWallMsPrefix = "pass.wall_ms.";
 
 std::atomic<bool> g_timing_enabled{false};
 
@@ -176,6 +177,11 @@ recordGlobal(const std::vector<PassExecution> &executions)
     for (const auto &exec : executions) {
         obs::counterAdd(kRunsPrefix + exec.pass);
         obs::accumulate(kSecondsPrefix + exec.pass, exec.seconds);
+        // The accumulator keeps the total; the histogram keeps the
+        // per-run distribution (p99 catches a pass that is usually
+        // cheap but sometimes pathological).
+        obs::histogramRecord(kWallMsPrefix + exec.pass,
+                             exec.seconds * 1e3);
         for (const auto &[key, value] : exec.statistics)
             obs::counterAdd(kStatPrefix + exec.pass + "." + key, value);
     }
@@ -199,6 +205,7 @@ void
 resetGlobalTiming()
 {
     obs::resetMetricsWithPrefix("pass.");
+    obs::resetHistogramsWithPrefix("pass.");
 }
 
 std::string

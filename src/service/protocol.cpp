@@ -49,6 +49,41 @@ field(std::ostringstream &os, bool &first, const std::string &key,
     first = false;
 }
 
+void
+histogramField(std::ostringstream &os, bool &first,
+               const std::string &key, const HistogramWire &h)
+{
+    char buf[40];
+    os << (first ? "" : ", ") << jsonQuote(key) << ": {";
+    first = false;
+    os << "\"count\": " << h.count;
+    const std::pair<const char *, double> doubles[] = {
+        {"sum", h.sum}, {"p50", h.p50}, {"p90", h.p90},
+        {"p99", h.p99}, {"max", h.max}};
+    for (const auto &[name, value] : doubles) {
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        os << ", \"" << name << "\": " << buf;
+    }
+    os << "}";
+}
+
+void
+decodeHistogram(const support::JsonValue &doc, HistogramWire &out)
+{
+    if (const auto *v = doc.find("count"))
+        out.count = v->asInt();
+    if (const auto *v = doc.find("sum"))
+        out.sum = v->asDouble();
+    if (const auto *v = doc.find("p50"))
+        out.p50 = v->asDouble();
+    if (const auto *v = doc.find("p90"))
+        out.p90 = v->asDouble();
+    if (const auto *v = doc.find("p99"))
+        out.p99 = v->asDouble();
+    if (const auto *v = doc.find("max"))
+        out.max = v->asDouble();
+}
+
 } // namespace
 
 std::string
@@ -114,13 +149,25 @@ encodeResponse(const Response &r)
         field(os, first, "hls_c", r.hlsC);
     if (!r.irOut.empty())
         field(os, first, "ir", r.irOut);
+    if (r.requestId > 0)
+        field(os, first, "request", r.requestId);
     if (r.status == "ok") {
-        field(os, first, "requests_served", r.requestsServed);
+        // Per-request cache deltas on work frames; daemon totals on a
+        // stats frame. The stats-only block below is what distinguishes
+        // the two on the wire.
         field(os, first, "cache_hits", r.cacheHits);
         field(os, first, "cache_misses", r.cacheMisses);
+    }
+    if (r.status == "ok" && r.statsFrame) {
+        field(os, first, "requests_served", r.requestsServed);
         field(os, first, "cache_size", r.cacheSize);
         field(os, first, "cache_loaded", r.cacheLoaded);
         field(os, first, "queue_depth", r.queueDepth);
+        field(os, first, "queue_depth_max", r.queueDepthMax);
+        field(os, first, "uptime_seconds", r.uptimeSeconds);
+        field(os, first, "cache_hit_rate", r.cacheHitRate);
+        histogramField(os, first, "queue_wait_ms", r.queueWaitMs);
+        histogramField(os, first, "service_ms", r.serviceMs);
     }
     os << "}";
     return os.str();
@@ -213,19 +260,94 @@ decodeResponse(const std::string &text, Response &out,
         out.hlsC = v->asString();
     if (const auto *v = doc.find("ir"))
         out.irOut = v->asString();
-    if (const auto *v = doc.find("requests_served"))
-        out.requestsServed = v->asInt();
+    if (const auto *v = doc.find("request"))
+        out.requestId = v->asInt();
     if (const auto *v = doc.find("cache_hits"))
         out.cacheHits = v->asInt();
     if (const auto *v = doc.find("cache_misses"))
         out.cacheMisses = v->asInt();
+    if (const auto *v = doc.find("requests_served")) {
+        out.statsFrame = true;
+        out.requestsServed = v->asInt();
+    }
     if (const auto *v = doc.find("cache_size"))
         out.cacheSize = v->asInt();
     if (const auto *v = doc.find("cache_loaded"))
         out.cacheLoaded = v->asInt();
     if (const auto *v = doc.find("queue_depth"))
         out.queueDepth = v->asInt();
+    if (const auto *v = doc.find("queue_depth_max"))
+        out.queueDepthMax = v->asInt();
+    if (const auto *v = doc.find("uptime_seconds"))
+        out.uptimeSeconds = v->asDouble();
+    if (const auto *v = doc.find("cache_hit_rate"))
+        out.cacheHitRate = v->asDouble();
+    if (const auto *v = doc.find("queue_wait_ms"))
+        decodeHistogram(*v, out.queueWaitMs);
+    if (const auto *v = doc.find("service_ms"))
+        decodeHistogram(*v, out.serviceMs);
     return true;
+}
+
+std::string
+statsPrometheus(const Response &stats)
+{
+    std::ostringstream os;
+    char buf[40];
+    auto num = [&buf](double v) -> const char * {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        return buf;
+    };
+    auto scalar = [&os](const char *name, const char *type,
+                        const char *help, const std::string &value) {
+        os << "# HELP " << name << " " << help << "\n"
+           << "# TYPE " << name << " " << type << "\n"
+           << name << " " << value << "\n";
+    };
+    scalar("pomd_uptime_seconds", "gauge",
+           "Seconds since the daemon started.",
+           num(stats.uptimeSeconds));
+    scalar("pomd_requests_served_total", "counter",
+           "Requests executed to completion.",
+           std::to_string(stats.requestsServed));
+    scalar("pomd_estimator_cache_hits_total", "counter",
+           "Estimator-cache hits across all requests.",
+           std::to_string(stats.cacheHits));
+    scalar("pomd_estimator_cache_misses_total", "counter",
+           "Estimator-cache misses across all requests.",
+           std::to_string(stats.cacheMisses));
+    scalar("pomd_estimator_cache_hit_rate", "gauge",
+           "hits / (hits + misses); 0 when idle.",
+           num(stats.cacheHitRate));
+    scalar("pomd_estimator_cache_entries", "gauge",
+           "Entries currently in the estimator cache.",
+           std::to_string(stats.cacheSize));
+    scalar("pomd_estimator_cache_loaded_entries", "gauge",
+           "Entries warm-loaded from the disk spill at start.",
+           std::to_string(stats.cacheLoaded));
+    scalar("pomd_request_queue_depth", "gauge",
+           "Requests queued or executing right now.",
+           std::to_string(stats.queueDepth));
+    scalar("pomd_request_queue_depth_max", "gauge",
+           "High-water mark of the request queue since start.",
+           std::to_string(stats.queueDepthMax));
+    auto summary = [&os, &num](const char *name, const char *help,
+                               const HistogramWire &h) {
+        os << "# HELP " << name << " " << help << "\n"
+           << "# TYPE " << name << " summary\n";
+        os << name << "{quantile=\"0.5\"} " << num(h.p50) << "\n";
+        os << name << "{quantile=\"0.9\"} " << num(h.p90) << "\n";
+        os << name << "{quantile=\"0.99\"} " << num(h.p99) << "\n";
+        os << name << "_sum " << num(h.sum) << "\n";
+        os << name << "_count " << h.count << "\n";
+    };
+    summary("pomd_request_queue_wait_milliseconds",
+            "Dispatch-to-execution-start wait per request.",
+            stats.queueWaitMs);
+    summary("pomd_request_service_milliseconds",
+            "Execution-start-to-response-ready time per request.",
+            stats.serviceMs);
+    return os.str();
 }
 
 } // namespace pom::service

@@ -65,6 +65,20 @@ struct Request
     std::string pipeline; ///< pass pipeline spec (may be empty)
 };
 
+/**
+ * Wire form of one histogram summary (stats frames). Full bucket data
+ * stays server-side; the frame carries the summary a scraper needs.
+ */
+struct HistogramWire
+{
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
 /** One daemon response. */
 struct Response
 {
@@ -72,6 +86,11 @@ struct Response
     std::string status = "ok";   ///< ok | error | busy
     std::string error;           ///< status "error": what went wrong
     int retryAfterMs = 0;        ///< status "busy": back-off hint
+
+    /** Daemon-assigned monotonic request ID (0 = not assigned, e.g. a
+     *  one-shot in-process execute). Matches the `[req N]` diagnostics
+     *  prefix and the journal header's "request" key. */
+    std::int64_t requestId = 0;
 
     // -- compile --
     std::string reportLine; ///< SynthesisReport::str() of the design
@@ -88,13 +107,25 @@ struct Response
     // -- opt --
     std::string irOut;
 
-    // -- stats --
-    std::int64_t requestsServed = 0;
+    // -- per-request work report (compile/opt frames) --
+    // Snapshot-deltas taken around THIS request's execution, so
+    // concurrent requests do not alias each other's process-global
+    // counters. Stats frames reuse the same fields for daemon totals.
     std::int64_t cacheHits = 0;
     std::int64_t cacheMisses = 0;
+
+    // -- stats frames only (statsFrame == true) --
+    bool statsFrame = false; ///< not wire-encoded; set when the frame
+                             ///< carries the fields below
+    std::int64_t requestsServed = 0;
     std::int64_t cacheSize = 0;
     std::int64_t cacheLoaded = 0; ///< entries warm-loaded from disk
     std::int64_t queueDepth = 0;
+    std::int64_t queueDepthMax = 0; ///< high-water mark since start
+    double uptimeSeconds = 0.0;
+    double cacheHitRate = 0.0; ///< hits / (hits + misses), 0 when idle
+    HistogramWire queueWaitMs;  ///< dispatch -> execution start
+    HistogramWire serviceMs;    ///< execution start -> response ready
 };
 
 /** Serialize as one canonical JSON document (the frame payload). */
@@ -108,6 +139,13 @@ bool decodeRequest(const std::string &text, Request &out,
                    std::string &error);
 bool decodeResponse(const std::string &text, Response &out,
                     std::string &error);
+
+/**
+ * Render a stats response in the Prometheus text exposition format
+ * (one gauge/counter per scalar, a `summary` with quantile labels per
+ * histogram). What `pomc --daemon-stats --format prom` prints.
+ */
+std::string statsPrometheus(const Response &stats);
 
 } // namespace pom::service
 

@@ -10,6 +10,7 @@
 #include "ir/parser.h"
 #include "lower/lower.h"
 #include "obs/journal.h"
+#include "obs/obs.h"
 #include "pass/pass_manager.h"
 #include "support/diagnostics.h"
 #include "support/version.h"
@@ -17,12 +18,44 @@
 
 namespace pom::service {
 
+namespace {
+
+/** The daemon's request-latency histograms (metrics-JSON names). */
+constexpr const char *kQueueWaitHistogram = "pomd.queue_wait_ms";
+constexpr const char *kServiceHistogram = "pomd.service_ms";
+
+HistogramWire
+toWire(const obs::HistogramSummary &s)
+{
+    HistogramWire w;
+    w.count = static_cast<std::int64_t>(s.count);
+    w.sum = s.sum;
+    w.p50 = s.p50;
+    w.p90 = s.p90;
+    w.p99 = s.p99;
+    w.max = s.max;
+    return w;
+}
+
+double
+millisSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
 Server::Server(ServerOptions options) : opt_(std::move(options))
 {
     if (opt_.workers < 1)
         opt_.workers = 1;
     if (opt_.queueLimit < 1)
         opt_.queueLimit = 1;
+    // start() re-pins this after the (possibly slow) cache warm-load;
+    // pinning here keeps uptime sane for socket-less test drivers.
+    startTime_ = std::chrono::steady_clock::now();
 }
 
 Server::~Server()
@@ -50,8 +83,12 @@ Server::start(std::string &error)
     listener_ = support::listenUnix(opt_.socketPath, 64, error);
     if (!listener_.valid())
         return false;
-    executors_ =
-        std::make_unique<support::ThreadPool>(opt_.workers);
+    // Named executors: "pomd-exec-<i>" shows up in /proc and as
+    // Chrome-trace thread_name metadata, so concurrent request traces
+    // are attributable per lane.
+    executors_ = std::make_unique<support::ThreadPool>(opt_.workers,
+                                                       "pomd-exec");
+    startTime_ = std::chrono::steady_clock::now();
     return true;
 }
 
@@ -111,11 +148,17 @@ Server::dispatch(std::shared_ptr<support::Socket> connection)
         return;
     }
 
+    // Every socket-served request gets the next monotonic ID; it is
+    // stamped into the response frame, spans, diagnostics and (for
+    // compiles) the journal header.
+    std::int64_t requestId =
+        nextRequestId_.fetch_add(1, std::memory_order_relaxed) + 1;
+
     // Cheap control methods never queue: a full daemon must still
     // answer pings, stats probes and the shutdown request.
     if (request.method != "compile" && request.method != "opt" &&
         request.method != "sleep") {
-        reply(execute(request));
+        reply(execute(request, requestId));
         return;
     }
 
@@ -134,16 +177,36 @@ Server::dispatch(std::shared_ptr<support::Socket> connection)
     } while (!pending_.compare_exchange_weak(
         depth, depth + 1, std::memory_order_relaxed));
 
-    executors_->submit([this, connection, request, reply]() {
-        reply(execute(request));
-        pending_.fetch_sub(1, std::memory_order_relaxed);
-    });
+    // Track the queue-depth high-water mark for the stats frame.
+    int newDepth = depth + 1;
+    int hwm = pendingMax_.load(std::memory_order_relaxed);
+    while (newDepth > hwm &&
+           !pendingMax_.compare_exchange_weak(
+               hwm, newDepth, std::memory_order_relaxed)) {
+    }
+
+    auto enqueued = std::chrono::steady_clock::now();
+    executors_->submit(
+        [this, connection, request, reply, requestId, enqueued]() {
+            obs::histogramRecord(kQueueWaitHistogram,
+                                 millisSince(enqueued));
+            auto begin = std::chrono::steady_clock::now();
+            Response response = execute(request, requestId);
+            obs::histogramRecord(kServiceHistogram, millisSince(begin));
+            reply(response);
+            pending_.fetch_sub(1, std::memory_order_relaxed);
+        });
 }
 
 Response
-Server::execute(const Request &request)
+Server::execute(const Request &request, std::int64_t requestId)
 {
+    // Tag this thread for the request's lifetime: spans opened during
+    // the compile and any diagnostics it emits carry `[req N]`.
+    support::RequestIdScope requestScope(requestId);
+    obs::Span span("service." + request.method, "service");
     Response response;
+    response.requestId = requestId;
     if (request.version != support::kVersionString) {
         response.status = "error";
         response.error = "version mismatch: client '" +
@@ -159,7 +222,7 @@ Server::execute(const Request &request)
         } else if (request.method == "stats") {
             response = statsResponse();
         } else if (request.method == "compile") {
-            response = compileResponse(request);
+            response = compileResponse(request, requestId);
         } else if (request.method == "opt") {
             response = optResponse(request);
         } else if (request.method == "shutdown") {
@@ -182,13 +245,14 @@ Server::execute(const Request &request)
         response.status = "error";
         response.error = std::string("internal error: ") + e.what();
     }
+    response.requestId = requestId;
     if (response.status == "ok")
         served_.fetch_add(1, std::memory_order_relaxed);
     return response;
 }
 
 Response
-Server::compileResponse(const Request &request)
+Server::compileResponse(const Request &request, std::int64_t requestId)
 {
     Response response;
     if (!workloads::isKnown(request.workload)) {
@@ -229,6 +293,13 @@ Server::compileResponse(const Request &request)
         return response;
     }
 
+    // Snapshot-delta around the run: the estimator cache is process
+    // global, so concurrent requests would otherwise alias each other's
+    // hit/miss counters in their response frames.
+    auto &cache = hls::EstimatorCache::global();
+    std::uint64_t hits0 = cache.hits();
+    std::uint64_t misses0 = cache.misses();
+
     auto workload =
         workloads::makeByName(request.workload, request.size);
     baselines::BaselineResult result;
@@ -260,11 +331,17 @@ Server::compileResponse(const Request &request)
     response.bramBits = result.report.resources.bramBits;
     response.lut = result.report.resources.lut;
     response.ff = result.report.resources.ff;
+    response.cacheHits = static_cast<std::int64_t>(cache.hits() - hits0);
+    response.cacheMisses =
+        static_cast<std::int64_t>(cache.misses() - misses0);
+    // requestId 0 = unattributed (direct execute / one-shot parity):
+    // pass -1 so the journal header stays byte-identical to `pomc`.
+    std::int64_t journalId = requestId > 0 ? requestId : -1;
     if (request.journal == "v1") {
-        response.journalText = obs::journalJson(result.journal);
+        response.journalText = obs::journalJson(result.journal, journalId);
     } else if (request.journal == "v2") {
-        response.journalText =
-            obs::journalJsonV2(result.journal, result.frontierRounds);
+        response.journalText = obs::journalJsonV2(
+            result.journal, result.frontierRounds, journalId);
     }
     if (request.emit)
         response.hlsC = emit::emitHlsC(*result.design.func);
@@ -296,6 +373,7 @@ Response
 Server::statsResponse()
 {
     Response response;
+    response.statsFrame = true;
     auto &cache = hls::EstimatorCache::global();
     response.requestsServed =
         static_cast<std::int64_t>(served_.load());
@@ -305,6 +383,18 @@ Server::statsResponse()
     response.cacheLoaded =
         static_cast<std::int64_t>(load_stats_.loaded);
     response.queueDepth = pending_.load(std::memory_order_relaxed);
+    response.queueDepthMax =
+        pendingMax_.load(std::memory_order_relaxed);
+    response.uptimeSeconds = millisSince(startTime_) / 1e3;
+    std::int64_t probes = response.cacheHits + response.cacheMisses;
+    response.cacheHitRate =
+        probes > 0 ? static_cast<double>(response.cacheHits) /
+                         static_cast<double>(probes)
+                   : 0.0;
+    response.queueWaitMs =
+        toWire(obs::histogramSnapshot(kQueueWaitHistogram).summary());
+    response.serviceMs =
+        toWire(obs::histogramSnapshot(kServiceHistogram).summary());
     return response;
 }
 

@@ -36,6 +36,7 @@
 #define POM_SERVICE_SERVER_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -105,13 +106,21 @@ class Server
 
     std::uint64_t requestsServed() const { return served_.load(); }
 
-    /** Execute one request in-process (the daemon's dispatch target;
-     *  public so tests can drive the protocol without a socket). */
-    Response execute(const Request &request);
+    /**
+     * Execute one request in-process (the daemon's dispatch target;
+     * public so tests can drive the protocol without a socket).
+     *
+     * @p requestId is the daemon-assigned monotonic ID correlating the
+     * request's spans, diagnostics and journal header. 0 (the default)
+     * means "unattributed": nothing is stamped, so a direct execute()
+     * produces output byte-identical to a one-shot `pomc` run.
+     */
+    Response execute(const Request &request, std::int64_t requestId = 0);
 
   private:
     void dispatch(std::shared_ptr<support::Socket> connection);
-    Response compileResponse(const Request &request);
+    Response compileResponse(const Request &request,
+                             std::int64_t requestId);
     Response optResponse(const Request &request);
     Response statsResponse();
     void saveCache();
@@ -120,8 +129,11 @@ class Server
     support::Socket listener_;
     std::unique_ptr<support::ThreadPool> executors_;
     std::atomic<int> pending_{0};
+    std::atomic<int> pendingMax_{0}; ///< queue-depth high-water mark
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> served_{0};
+    std::atomic<std::int64_t> nextRequestId_{0};
+    std::chrono::steady_clock::time_point startTime_;
     hls::SpillStats load_stats_;
     std::mutex save_mutex_;
 };

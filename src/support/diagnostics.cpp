@@ -43,6 +43,8 @@ levelName(DiagLevel level)
     return "?";
 }
 
+thread_local std::int64_t t_request_id = 0;
+
 } // namespace
 
 void
@@ -78,7 +80,25 @@ diag(DiagLevel level, const std::string &message)
         g_diag_level.load(std::memory_order_relaxed))
         return;
     std::lock_guard<std::mutex> lock(g_diag_mutex);
-    diagStream() << "pom " << levelName(level) << ": " << message << "\n";
+    std::ostream &os = diagStream();
+    os << "pom " << levelName(level);
+    if (t_request_id != 0)
+        os << " [req " << t_request_id << "]";
+    os << ": " << message << "\n";
+}
+
+// ----- request correlation -----------------------------------------------
+
+void
+setCurrentRequestId(std::int64_t id)
+{
+    t_request_id = id;
+}
+
+std::int64_t
+currentRequestId()
+{
+    return t_request_id;
 }
 
 } // namespace pom::support

@@ -16,6 +16,7 @@
 #ifndef POM_SUPPORT_DIAGNOSTICS_H
 #define POM_SUPPORT_DIAGNOSTICS_H
 
+#include <cstdint>
 #include <cstdlib>
 #include <iosfwd>
 #include <sstream>
@@ -72,9 +73,42 @@ std::ostream &diagStream();
 
 /**
  * Emit one diagnostic line ("pom <level>: <message>") to the diagnostic
- * stream, subject to the verbosity threshold.
+ * stream, subject to the verbosity threshold. When the calling thread
+ * carries a request ID (see setCurrentRequestId) the line is prefixed
+ * "pom <level> [req N]: <message>" so interleaved daemon logs are
+ * attributable.
  */
 void diag(DiagLevel level, const std::string &message);
+
+// ----- request correlation ----------------------------------------------
+
+/**
+ * Tag the calling thread with the daemon request it is serving; spans
+ * and diagnostics emitted from this thread carry the ID until it is
+ * cleared. 0 (the default) means "not inside a request" and removes
+ * the tag. Thread-local, so concurrent executors don't interleave.
+ */
+void setCurrentRequestId(std::int64_t id);
+
+/** The calling thread's request ID; 0 outside a request. */
+std::int64_t currentRequestId();
+
+/** RAII request tag: sets on construction, restores on destruction. */
+class RequestIdScope
+{
+  public:
+    explicit RequestIdScope(std::int64_t id)
+        : previous_(currentRequestId())
+    {
+        setCurrentRequestId(id);
+    }
+    ~RequestIdScope() { setCurrentRequestId(previous_); }
+    RequestIdScope(const RequestIdScope &) = delete;
+    RequestIdScope &operator=(const RequestIdScope &) = delete;
+
+  private:
+    std::int64_t previous_;
+};
 
 /** Build a message from streamable parts: fmtMsg("x=", x, " y=", y). */
 template <typename... Args>

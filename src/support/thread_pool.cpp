@@ -4,6 +4,10 @@
 #include <atomic>
 #include <cstdlib>
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 #include "support/string_util.h"
 
 namespace pom::support {
@@ -33,6 +37,17 @@ environmentJobs()
 
 std::atomic<int> g_jobs{0}; // 0 = unset, fall back to the environment
 
+/** Name the calling thread at the OS level (15-char pthread limit). */
+void
+nameCurrentThread(const std::string &name)
+{
+#if defined(__linux__)
+    pthread_setname_np(pthread_self(), name.substr(0, 15).c_str());
+#else
+    (void)name;
+#endif
+}
+
 } // namespace
 
 int
@@ -48,12 +63,17 @@ setJobs(int n)
     g_jobs.store(n > 0 ? clampJobs(n) : 0, std::memory_order_relaxed);
 }
 
-ThreadPool::ThreadPool(int workers)
+ThreadPool::ThreadPool(int workers, const std::string &name)
 {
     int n = clampJobs(workers);
     threads_.reserve(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i)
-        threads_.emplace_back([this]() { workerLoop(); });
+    for (int i = 0; i < n; ++i) {
+        std::string threadName = name + "-" + std::to_string(i);
+        threads_.emplace_back([this, threadName]() {
+            nameCurrentThread(threadName);
+            workerLoop();
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()

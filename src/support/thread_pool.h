@@ -30,6 +30,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -50,8 +51,13 @@ void setJobs(int n);
 class ThreadPool
 {
   public:
-    /** Spawn @p workers threads (clamped to [1, 256]). */
-    explicit ThreadPool(int workers);
+    /**
+     * Spawn @p workers threads (clamped to [1, 256]). Each worker gets
+     * the OS-level thread name "<name>-<i>" (Linux; truncated to the
+     * 15-char pthread limit) so debuggers, /proc and Chrome traces can
+     * attribute work to its pool.
+     */
+    explicit ThreadPool(int workers, const std::string &name = "pom-wkr");
 
     /** Drains already-queued tasks, then joins all workers. */
     ~ThreadPool();

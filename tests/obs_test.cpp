@@ -414,4 +414,185 @@ TEST(ObsJournal, GemmJournalMatchesGolden)
            "POM_UPDATE_EXPECTED=1.";
 }
 
+TEST(ObsHistogram, PercentileEdgeCases)
+{
+    // Empty: every statistic is 0.
+    obs::Histogram h;
+    obs::HistogramSummary s = h.summary();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.p50, 0.0);
+    EXPECT_EQ(s.p99, 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+
+    // Single sample: the percentile midpoint clamps to [min, max], so
+    // every quantile reports the exact value.
+    h.record(3.25);
+    s = h.summary();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_EQ(s.min, 3.25);
+    EXPECT_EQ(s.max, 3.25);
+    EXPECT_EQ(s.p50, 3.25);
+    EXPECT_EQ(s.p90, 3.25);
+    EXPECT_EQ(s.p99, 3.25);
+    EXPECT_EQ(s.mean(), 3.25);
+
+    // All samples in one bucket: same clamping argument.
+    obs::Histogram one;
+    for (int i = 0; i < 1000; ++i)
+        one.record(7.0);
+    s = one.summary();
+    EXPECT_EQ(s.count, 1000u);
+    EXPECT_EQ(s.p50, 7.0);
+    EXPECT_EQ(s.p99, 7.0);
+
+    // Non-positive and huge values land in under/overflow buckets
+    // without disturbing count or min/max bookkeeping.
+    obs::Histogram odd;
+    odd.record(0.0);
+    odd.record(-5.0);
+    odd.record(1e300);
+    EXPECT_EQ(odd.count(), 3u);
+    s = odd.summary();
+    EXPECT_EQ(s.min, -5.0);
+    EXPECT_EQ(s.max, 1e300);
+
+    // Two well-separated samples: p50 stays within [min, max] and the
+    // high quantile leans toward the larger sample's bucket.
+    obs::Histogram two;
+    two.record(1.0);
+    two.record(1024.0);
+    s = two.summary();
+    EXPECT_GE(s.p50, s.min);
+    EXPECT_LE(s.p50, s.max);
+    EXPECT_GT(s.p99, 512.0);
+    EXPECT_LE(s.p99, 1024.0);
+}
+
+TEST(ObsHistogram, ConcurrentRecordStress)
+{
+    const int threads = 8, per_thread = 5000;
+    obs::Histogram h;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&h, t] {
+            for (int i = 0; i < per_thread; ++i)
+                h.record(static_cast<double>(t * per_thread + i + 1));
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    obs::HistogramSummary s = h.summary();
+    EXPECT_EQ(s.count, static_cast<std::uint64_t>(threads * per_thread));
+    EXPECT_EQ(s.min, 1.0);
+    EXPECT_EQ(s.max, static_cast<double>(threads * per_thread));
+    // Bucket totals must equal the sample count -- no lost updates.
+    std::uint64_t total = 0;
+    for (const auto &[index, n] : h.nonzeroBuckets())
+        total += n;
+    EXPECT_EQ(total, s.count);
+}
+
+TEST(ObsHistogram, MergeIsAssociativeAndCommutative)
+{
+    obs::Histogram a, b, c;
+    for (int i = 1; i <= 100; ++i)
+        a.record(static_cast<double>(i));
+    for (int i = 0; i < 50; ++i)
+        b.record(0.125 * (i + 1));
+    for (int i = 0; i < 25; ++i)
+        c.record(1e6 + 16.0 * i);
+
+    // (a + b) + c
+    obs::Histogram left = a;
+    left.merge(b);
+    left.merge(c);
+    // a + (b + c)
+    obs::Histogram bc = b;
+    bc.merge(c);
+    obs::Histogram right = a;
+    right.merge(bc);
+    // c + b + a (commutativity)
+    obs::Histogram rev = c;
+    rev.merge(b);
+    rev.merge(a);
+
+    // Sample values are binary-exact doubles, so sums match exactly
+    // and the serialized forms are byte-identical.
+    EXPECT_EQ(left.json(), right.json());
+    EXPECT_EQ(left.json(), rev.json());
+    obs::HistogramSummary s = left.summary();
+    EXPECT_EQ(s.count, 175u);
+    EXPECT_EQ(s.min, 0.125);
+    EXPECT_EQ(s.max, 1e6 + 16.0 * 24);
+
+    // Merging an empty histogram is the identity.
+    obs::Histogram empty;
+    obs::Histogram same = left;
+    same.merge(empty);
+    EXPECT_EQ(same.json(), left.json());
+}
+
+TEST(ObsHistogram, JsonRoundTrip)
+{
+    obs::Histogram h;
+    for (int i = 0; i < 500; ++i)
+        h.record(0.5 * (i % 97) + 0.25);
+    std::string json = h.json();
+    EXPECT_TRUE(jsonValid(json)) << json;
+
+    obs::Histogram back;
+    std::string error;
+    ASSERT_TRUE(obs::Histogram::fromJson(json, back, error)) << error;
+    EXPECT_EQ(back.json(), json);
+    obs::HistogramSummary s0 = h.summary(), s1 = back.summary();
+    EXPECT_EQ(s0.count, s1.count);
+    EXPECT_EQ(s0.min, s1.min);
+    EXPECT_EQ(s0.max, s1.max);
+    EXPECT_EQ(s0.sum, s1.sum);
+    EXPECT_EQ(s0.p50, s1.p50);
+    EXPECT_EQ(s0.p99, s1.p99);
+
+    // Malformed inputs are rejected, not crashed on.
+    obs::Histogram junk;
+    EXPECT_FALSE(obs::Histogram::fromJson("not json", junk, error));
+    EXPECT_FALSE(obs::Histogram::fromJson("{}", junk, error));
+    EXPECT_FALSE(obs::Histogram::fromJson(
+        "{\"count\": 2, \"min\": 1, \"max\": 1, \"sum\": 2, \"p50\": 1, "
+        "\"p90\": 1, \"p99\": 1, \"buckets\": [[5, 1]]}",
+        junk, error))
+        << "bucket total != count must be rejected";
+}
+
+TEST(ObsHistogram, NamedHistogramsExportAndReset)
+{
+    obs::setMetricsEnabled(true);
+    obs::resetMetrics();
+    obs::resetHistograms();
+    obs::histogramRecord("test.latency_ms", 2.0);
+    obs::histogramRecord("test.latency_ms", 8.0);
+    obs::histogramRecord("other.size", 100.0);
+
+    obs::HistogramSummary s =
+        obs::histogramSnapshot("test.latency_ms").summary();
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_EQ(s.min, 2.0);
+    EXPECT_EQ(s.max, 8.0);
+
+    // metricsJson keeps the pom-metrics/v1 schema and carries the
+    // histograms as an additive "histogram" kind.
+    std::string json = obs::metricsJson();
+    EXPECT_TRUE(jsonValid(json)) << json;
+    EXPECT_NE(json.find("\"kind\": \"histogram\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.latency_ms\""), std::string::npos);
+
+    // Prefix reset drops only matching histograms.
+    obs::resetHistogramsWithPrefix("test.");
+    EXPECT_EQ(obs::histogramSnapshot("test.latency_ms").count(), 0u);
+    EXPECT_EQ(obs::histogramSnapshot("other.size").count(), 1u);
+
+    obs::resetHistograms();
+    obs::resetMetrics();
+    obs::setMetricsEnabled(false);
+}
+
 } // namespace

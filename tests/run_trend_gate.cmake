@@ -1,0 +1,97 @@
+# Drives the pom-trend regression gate end-to-end on synthetic data.
+# The gate must demonstrably gate: a steady series passes (exit 0), an
+# injected deterministic regression fails (exit 3), and the rendered
+# page is self-contained SVG. Invoked by ctest as:
+#
+#   cmake -DPOM_TREND=<binary> -DWORK_DIR=<scratch> -P run_trend_gate.cmake
+
+if(NOT POM_TREND OR NOT WORK_DIR)
+    message(FATAL_ERROR "need -DPOM_TREND=<binary> -DWORK_DIR=<dir>")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(history "${WORK_DIR}/history.ndjsonl")
+
+# One synthetic pom-bench/v1 document per run of the series.
+function(write_bench path sha cold latency hit_rate)
+    file(WRITE "${path}" "{\"schema\": \"pom-bench/v1\", \
+\"version\": \"0.0.0\", \"sha\": \"${sha}\", \
+\"timestamp\": \"2026-01-01T00:00:00Z\", \"metrics\": [
+{\"name\": \"bench.dse.sweep.cold_seq_seconds\", \"kind\": \"gauge\", \"value\": ${cold}},
+{\"name\": \"bench.dse.sweep.latency_cycles_sum\", \"kind\": \"gauge\", \"value\": ${latency}},
+{\"name\": \"bench.dse.cache.hit_rate\", \"kind\": \"gauge\", \"value\": ${hit_rate}},
+{\"name\": \"bench.dse.strategy.greedy.points\", \"kind\": \"gauge\", \"value\": 500}
+]}\n")
+endfunction()
+
+function(run_trend expect)
+    execute_process(COMMAND ${POM_TREND} ${ARGN}
+        RESULT_VARIABLE result
+        OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+    if(NOT result EQUAL ${expect})
+        message(FATAL_ERROR "pom-trend ${ARGN}: expected exit ${expect}, "
+            "got ${result}\nstdout:\n${stdout}\nstderr:\n${stderr}")
+    endif()
+endfunction()
+
+# 1. Build a 5-record baseline with mild wall-clock jitter around a
+#    steady deterministic QoR.
+set(colds 2.10 2.30 2.20 2.25 2.15)
+set(i 0)
+foreach(cold IN LISTS colds)
+    math(EXPR i "${i} + 1")
+    write_bench("${WORK_DIR}/b${i}.json" "sha${i}" ${cold} 1000000 0.95)
+    run_trend(0 --history "${history}" --bench "${WORK_DIR}/b${i}.json"
+        --append)
+endforeach()
+
+# 2. A matching run passes the gate.
+write_bench("${WORK_DIR}/good.json" "shaG" 2.20 1000000 0.95)
+run_trend(0 --history "${history}" --bench "${WORK_DIR}/good.json" --check)
+
+# 3. +5% summed latency breaches the 2% deterministic threshold.
+write_bench("${WORK_DIR}/bad.json" "shaB" 2.20 1050000 0.95)
+run_trend(3 --history "${history}" --bench "${WORK_DIR}/bad.json" --check)
+
+# 4. A 50% wall-clock blowup breaches the noisy threshold, and the
+#    loose CI threshold (150%) tolerates it.
+write_bench("${WORK_DIR}/slow.json" "shaS" 3.40 1000000 0.95)
+run_trend(3 --history "${history}" --bench "${WORK_DIR}/slow.json" --check)
+run_trend(0 --history "${history}" --bench "${WORK_DIR}/slow.json" --check
+    --threshold 1.5)
+
+# 5. A cache-hit-rate drop (higher-is-better direction) also gates.
+write_bench("${WORK_DIR}/drop.json" "shaD" 2.20 1000000 0.85)
+run_trend(3 --history "${history}" --bench "${WORK_DIR}/drop.json" --check)
+
+# 6. --append --check in one invocation: the record lands in the
+#    history AND the gate still fails -- the CI calling convention.
+write_bench("${WORK_DIR}/bad2.json" "shaB2" 2.20 1080000 0.95)
+run_trend(3 --history "${history}" --bench "${WORK_DIR}/bad2.json"
+    --append --check --html "${WORK_DIR}/trend.html")
+file(STRINGS "${history}" records)
+list(LENGTH records n)
+if(NOT n EQUAL 6)
+    message(FATAL_ERROR "expected 6 history records after appends, got ${n}")
+endif()
+
+# 7. The page is self-contained: inline SVG, no script tags.
+file(READ "${WORK_DIR}/trend.html" html)
+if(NOT html MATCHES "<svg ")
+    message(FATAL_ERROR "trend.html has no inline SVG")
+endif()
+if(html MATCHES "<script")
+    message(FATAL_ERROR "trend.html must not reference scripts")
+endif()
+if(NOT html MATCHES "shaB2")
+    message(FATAL_ERROR "trend.html must include the appended record")
+endif()
+
+# 8. Usage and I/O errors use distinct exit codes.
+run_trend(2)                                       # no --history
+run_trend(2 --history "${history}" --append)       # --append sans --bench
+run_trend(1 --history "${history}" --bench "${WORK_DIR}/missing.json"
+    --check)                                       # unreadable bench
+
+message(STATUS "pom-trend gate behaves: clean=0, regression=3")

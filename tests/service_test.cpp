@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -62,6 +64,27 @@ oneShotJournalV2(const std::string &workload, std::int64_t size)
     return obs::journalJsonV2(result.journal, result.frontierRounds);
 }
 
+/**
+ * Remove the daemon's `"request": N, ` header stamp -- the one
+ * permitted divergence between a daemon-served journal and its
+ * one-shot equivalent. Returns the stamped ID (0 if absent).
+ */
+std::int64_t
+stripRequestStamp(std::string &journal)
+{
+    const std::string key = "\"request\": ";
+    std::size_t at = journal.find(key);
+    if (at == std::string::npos)
+        return 0;
+    std::size_t end = journal.find(", ", at);
+    if (end == std::string::npos)
+        return 0;
+    std::int64_t id =
+        std::atoll(journal.c_str() + at + key.size());
+    journal.erase(at, end + 2 - at);
+    return id;
+}
+
 TEST(Protocol, RequestRoundTrip)
 {
     service::Request req = compileRequest("gemm", 256, "v2");
@@ -108,6 +131,108 @@ TEST(Protocol, ResponseRoundTripIncludingBusy)
     EXPECT_EQ(decoded.reportLine, ok.reportLine);
     EXPECT_EQ(decoded.journalText, ok.journalText);
     EXPECT_EQ(decoded.cacheHits, 7);
+}
+
+TEST(Protocol, StatsFrameRoundTripsHistogramSummaries)
+{
+    service::Response stats;
+    stats.statsFrame = true;
+    stats.requestId = 42;
+    stats.requestsServed = 9;
+    stats.cacheHits = 6;
+    stats.cacheMisses = 2;
+    stats.cacheSize = 8;
+    stats.cacheLoaded = 3;
+    stats.queueDepth = 1;
+    stats.queueDepthMax = 5;
+    stats.uptimeSeconds = 12.25;
+    stats.cacheHitRate = 0.75;
+    stats.queueWaitMs = {4, 10.5, 0.5, 2.0, 8.0, 8.0};
+    stats.serviceMs = {4, 1000.0, 100.0, 400.0, 900.0, 901.5};
+
+    service::Response decoded;
+    std::string error;
+    ASSERT_TRUE(service::decodeResponse(service::encodeResponse(stats),
+                                        decoded, error))
+        << error;
+    EXPECT_TRUE(decoded.statsFrame);
+    EXPECT_EQ(decoded.requestId, 42);
+    EXPECT_EQ(decoded.requestsServed, 9);
+    EXPECT_EQ(decoded.queueDepthMax, 5);
+    EXPECT_EQ(decoded.uptimeSeconds, 12.25);
+    EXPECT_EQ(decoded.cacheHitRate, 0.75);
+    EXPECT_EQ(decoded.queueWaitMs.count, 4);
+    EXPECT_EQ(decoded.queueWaitMs.sum, 10.5);
+    EXPECT_EQ(decoded.queueWaitMs.p50, 0.5);
+    EXPECT_EQ(decoded.queueWaitMs.p90, 2.0);
+    EXPECT_EQ(decoded.queueWaitMs.p99, 8.0);
+    EXPECT_EQ(decoded.queueWaitMs.max, 8.0);
+    EXPECT_EQ(decoded.serviceMs.count, 4);
+    EXPECT_EQ(decoded.serviceMs.max, 901.5);
+
+    // A work frame (no requests_served) must NOT look like stats.
+    service::Response work;
+    work.reportLine = "latency=1 cycles";
+    work.cacheHits = 3;
+    work.cacheMisses = 1;
+    ASSERT_TRUE(service::decodeResponse(service::encodeResponse(work),
+                                        decoded, error))
+        << error;
+    EXPECT_FALSE(decoded.statsFrame);
+    EXPECT_EQ(decoded.cacheHits, 3);
+    EXPECT_EQ(decoded.cacheMisses, 1);
+}
+
+TEST(Protocol, PrometheusExpositionIsWellFormed)
+{
+    service::Response stats;
+    stats.statsFrame = true;
+    stats.requestsServed = 7;
+    stats.cacheHits = 10;
+    stats.cacheMisses = 30;
+    stats.cacheHitRate = 0.25;
+    stats.uptimeSeconds = 3.5;
+    stats.queueDepthMax = 4;
+    stats.queueWaitMs = {7, 21.0, 1.0, 5.0, 9.0, 9.5};
+    stats.serviceMs = {7, 700.0, 80.0, 200.0, 600.0, 650.0};
+
+    std::string text = service::statsPrometheus(stats);
+    // Every sample line: `name[{labels}] value`, preceded by HELP/TYPE.
+    EXPECT_NE(text.find("# TYPE pomd_uptime_seconds gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("pomd_requests_served_total 7\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("pomd_estimator_cache_hit_rate 0.25\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("# TYPE pomd_request_queue_wait_milliseconds summary"),
+        std::string::npos);
+    EXPECT_NE(text.find("pomd_request_queue_wait_milliseconds"
+                        "{quantile=\"0.5\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("pomd_request_queue_wait_milliseconds_count 7\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("pomd_request_service_milliseconds_sum 700\n"),
+              std::string::npos);
+    // Structural lint: every non-comment line is `<name...> <value>`,
+    // and every metric family has a TYPE line before its samples.
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        ASSERT_FALSE(line.empty());
+        if (line[0] == '#') {
+            EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                        line.rfind("# TYPE ", 0) == 0)
+                << line;
+            continue;
+        }
+        std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        // The value parses as a double.
+        char *end = nullptr;
+        std::strtod(line.c_str() + space + 1, &end);
+        EXPECT_EQ(*end, '\0') << line;
+    }
 }
 
 TEST(Protocol, MalformedPayloadsAreErrors)
@@ -294,10 +419,20 @@ TEST(ServiceSocket, ConcurrentCompilesMatchOneShotByteForByte)
     server.stop();
     loop.join();
 
+    std::vector<std::int64_t> ids;
     for (size_t i = 0; i < jobs.size(); ++i) {
         EXPECT_TRUE(failures[i].empty()) << failures[i];
+        // Socket-served journals are stamped with the daemon's request
+        // ID; after stripping that one header key they must be
+        // byte-identical to the one-shot run.
+        std::int64_t id = stripRequestStamp(served[i]);
+        EXPECT_GT(id, 0) << "journal missing the request stamp";
+        ids.push_back(id);
         EXPECT_EQ(served[i], expected[i]) << jobs[i].first;
     }
+    // Request IDs are unique across concurrent requests.
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
     hls::EstimatorCache::global().clear();
 }
 

@@ -10,7 +10,8 @@
  *        [--metrics-out FILE] [--dse-journal FILE] [--frontier-out FILE]
  *        [--replay-journal FILE --point ID] [--cache-dir DIR]
  *        [--connect SOCK] [--quiet|-q] [--verbose|-v]
- *   pomc --connect SOCK --daemon-stats | --daemon-shutdown
+ *   pomc --connect SOCK --daemon-stats [--format text|json|prom]
+ *   pomc --connect SOCK --daemon-shutdown
  *   pomc --version
  *
  * Compiles one of the built-in benchmark workloads (see `pomc --list`)
@@ -87,7 +88,11 @@
  *                       byte-identical to the one-shot run. "busy"
  *                       backpressure responses are retried with the
  *                       daemon's hint.
- *   --daemon-stats      print the daemon's request/cache counters.
+ *   --daemon-stats      print the daemon's request/cache counters,
+ *                       latency percentiles and uptime. --format picks
+ *                       the rendering: "text" (default), "json" (the
+ *                       raw stats frame), or "prom" (Prometheus text
+ *                       exposition for scraping).
  *   --daemon-shutdown   ask the daemon to spill its cache and exit.
  *   --version           print the POM version (also stamped into the
  *                       wire protocol and the cache spill format).
@@ -150,8 +155,8 @@ usage(const char *argv0)
                  "[--replay-journal FILE --point ID] "
                  "[--cache-dir DIR] [--connect SOCK] "
                  "[--quiet|-q] [--verbose|-v]\n"
-                 "       %s --connect SOCK --daemon-stats | "
-                 "--daemon-shutdown\n"
+                 "       %s --connect SOCK --daemon-stats "
+                 "[--format text|json|prom] | --daemon-shutdown\n"
                  "       %s --version | --list\n",
                  argv0, argv0, argv0);
     return 2;
@@ -206,6 +211,7 @@ main(int argc, char **argv)
     dse::StrategyKind strategy = dse::StrategyKind::Greedy;
     std::string connect_sock, cache_dir;
     bool daemon_stats = false, daemon_shutdown = false;
+    std::string stats_format = "text"; ///< --daemon-stats rendering
 
     // --strategy is accepted both space- and '='-separated; an unknown
     // name is a hard error (never a silent fallback to greedy).
@@ -235,6 +241,16 @@ main(int argc, char **argv)
             cache_dir = argv[++a];
         } else if (arg == "--daemon-stats") {
             daemon_stats = true;
+        } else if (arg == "--format" && a + 1 < argc) {
+            stats_format = argv[++a];
+            if (stats_format != "text" && stats_format != "json" &&
+                stats_format != "prom") {
+                std::fprintf(stderr,
+                             "pomc: unknown --format '%s' (valid: "
+                             "text, json, prom)\n",
+                             stats_format.c_str());
+                return 2;
+            }
         } else if (arg == "--daemon-shutdown") {
             daemon_shutdown = true;
         } else if (arg == "--trace-out" && a + 1 < argc) {
@@ -351,18 +367,39 @@ main(int argc, char **argv)
                          resp.error.c_str());
             return 1;
         }
-        if (daemon_stats) {
-            std::printf("daemon:    %s (version %s)\n",
-                        connect_sock.c_str(), resp.version.c_str());
-            std::printf("requests:  %lld served, %lld queued\n",
+        if (daemon_stats && stats_format == "json") {
+            // The raw stats frame is already one canonical JSON
+            // document; scrapers get exactly what the wire carried.
+            std::printf("%s\n", service::encodeResponse(resp).c_str());
+        } else if (daemon_stats && stats_format == "prom") {
+            std::fputs(service::statsPrometheus(resp).c_str(), stdout);
+        } else if (daemon_stats) {
+            std::printf("daemon:    %s (version %s, up %.1fs)\n",
+                        connect_sock.c_str(), resp.version.c_str(),
+                        resp.uptimeSeconds);
+            std::printf("requests:  %lld served, %lld queued "
+                        "(high-water %lld)\n",
                         static_cast<long long>(resp.requestsServed),
-                        static_cast<long long>(resp.queueDepth));
+                        static_cast<long long>(resp.queueDepth),
+                        static_cast<long long>(resp.queueDepthMax));
             std::printf("cache:     %lld hits, %lld misses, %lld "
-                        "entries (%lld loaded from disk)\n",
+                        "entries (%lld loaded from disk, hit rate "
+                        "%.2f)\n",
                         static_cast<long long>(resp.cacheHits),
                         static_cast<long long>(resp.cacheMisses),
                         static_cast<long long>(resp.cacheSize),
-                        static_cast<long long>(resp.cacheLoaded));
+                        static_cast<long long>(resp.cacheLoaded),
+                        resp.cacheHitRate);
+            std::printf("queue ms:  p50 %.3f, p90 %.3f, p99 %.3f "
+                        "(%lld samples)\n",
+                        resp.queueWaitMs.p50, resp.queueWaitMs.p90,
+                        resp.queueWaitMs.p99,
+                        static_cast<long long>(resp.queueWaitMs.count));
+            std::printf("service ms: p50 %.3f, p90 %.3f, p99 %.3f "
+                        "(%lld samples)\n",
+                        resp.serviceMs.p50, resp.serviceMs.p90,
+                        resp.serviceMs.p99,
+                        static_cast<long long>(resp.serviceMs.count));
         } else {
             std::printf("daemon at %s shut down\n",
                         connect_sock.c_str());
