@@ -16,6 +16,11 @@
  *      (greedy / beam / anneal), cold cache each, reporting points
  *      explored, final frontier size, wall-clock and cache hit rate
  *      per strategy ("bench.dse.strategy.<name>.*" gauges).
+ *   5. Disk-warm start: sweep against a cache spill loaded from disk.
+ *   6. Pipeline cache: the full 18-workload sweep (non-DNN at 128 plus
+ *      both DNNs) cold, then again with the estimator cache dropped
+ *      but the pass::PipelineCache kept warm, isolating the lowering
+ *      prefix-skip ("bench.dse.pipeline.*" gauges).
  *
  * Set POM_BENCH_JSON=BENCH_dse.json to capture every printed number as
  * "bench.dse.*" gauges (see bench_util.h). Speedups depend on the host:
@@ -36,6 +41,7 @@
 #include "bench_util.h"
 #include "dse/dse.h"
 #include "hls/estimator_cache.h"
+#include "pass/pipeline_cache.h"
 #include "support/thread_pool.h"
 
 using namespace pom;
@@ -111,6 +117,27 @@ gauge(const std::string &name, double value)
 {
     if (obs::metricsEnabled())
         obs::gaugeSet("bench.dse." + name, value);
+}
+
+/**
+ * The full 18-workload sweep: every non-DNN workload at 128 plus both
+ * DNNs at a bounded depth (the section-2 settings), jobs=1 throughout.
+ */
+double
+runFullSweep(std::uint64_t &checksum)
+{
+    checksum = 0;
+    Clock::time_point t0 = Clock::now();
+    for (const auto &name : sweepNames())
+        checksum += runOne(name);
+    for (const char *dnn : {"vgg16", "resnet18"}) {
+        auto w = workloads::makeByName(dnn, 64);
+        dse::DseOptions opt;
+        opt.jobs = 1;
+        opt.maxParallelism = 4;
+        checksum += dse::autoDSE(w->func(), opt).report.latencyCycles;
+    }
+    return seconds(t0);
 }
 
 } // namespace
@@ -285,6 +312,45 @@ main()
     gauge("spill.warm_seconds", disk_warm);
     gauge("spill.warm_speedup", disk_speedup);
     gauge("spill.hit_rate", dhit_rate);
+
+    // 6. Pipeline cache: cold (both caches empty) vs. warm (estimator
+    // cache dropped again, pipeline cache kept), so the delta is the
+    // lowering prefix-skip alone and not estimator memoization.
+    std::printf("\npipeline-cache sweep (18 workloads):\n");
+    auto &pipeline = pass::PipelineCache::global();
+    pass::setPipelineCacheEnabled(true);
+    pipeline.clear();
+    cache.clear();
+    std::uint64_t sumP = 0, sumP2 = 0;
+    double pipe_cold = runFullSweep(sumP);
+    cache.clear();
+    std::uint64_t phits0 = pipeline.hits();
+    std::uint64_t pmisses0 = pipeline.misses();
+    double pipe_warm = runFullSweep(sumP2);
+    pass::setPipelineCacheEnabled(false);
+    if (sumP2 != sumP) {
+        std::fprintf(stderr, "FATAL: pipeline-cache sweep checksum "
+                             "diverged\n");
+        return 1;
+    }
+    std::uint64_t phits = pipeline.hits() - phits0;
+    std::uint64_t pmisses = pipeline.misses() - pmisses0;
+    double phit_rate = phits + pmisses > 0
+                           ? static_cast<double>(phits) /
+                                 static_cast<double>(phits + pmisses)
+                           : 0.0;
+    double pipe_speedup = pipe_warm > 0.0 ? pipe_cold / pipe_warm : 0.0;
+    std::printf("  sweep cold (both caches empty): %7.3f s\n",
+                pipe_cold);
+    std::printf("  sweep warm (pipeline cache only): %5.3f s  "
+                "(%.2fx, hit rate %.0f%%)\n",
+                pipe_warm, pipe_speedup, 100.0 * phit_rate);
+    gauge("pipeline.cold_seconds", pipe_cold);
+    gauge("pipeline.warm_seconds", pipe_warm);
+    gauge("pipeline.speedup", pipe_speedup);
+    gauge("pipeline.hits", static_cast<double>(phits));
+    gauge("pipeline.misses", static_cast<double>(pmisses));
+    gauge("pipeline.hit_rate", phit_rate);
 
     if (!json.empty())
         std::printf("\nwrote %s\n", json.c_str());

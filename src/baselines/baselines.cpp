@@ -305,6 +305,7 @@ runPom(dsl::Function &func, const BaselineOptions &options)
     dopt.maxParallelism = options.maxParallelism;
     dopt.innerUnrollCap = options.innerUnrollCap;
     dopt.strategy = options.strategy;
+    dopt.jobs = options.jobs;
     dse::DseResult dres = dse::autoDSE(func, dopt);
 
     BaselineResult result;

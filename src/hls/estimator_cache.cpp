@@ -8,8 +8,7 @@
 #include <fstream>
 #include <sstream>
 
-#include <unistd.h>
-
+#include "support/cache_store.h"
 #include "support/diagnostics.h"
 #include "support/string_util.h"
 #include "support/version.h"
@@ -81,95 +80,22 @@ designFingerprint(const std::string &funcDigest,
 }
 
 // ----- on-disk spill format ----------------------------------------------
-
-namespace {
-
-std::uint64_t
-fnv1a64(const char *data, std::size_t size, std::uint64_t hash)
-{
-    for (std::size_t i = 0; i < size; ++i) {
-        hash ^= static_cast<unsigned char>(data[i]);
-        hash *= 1099511628211ull;
-    }
-    return hash;
-}
-
-constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
-
-std::string
-hex16(std::uint64_t v)
-{
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
-    return buf;
-}
-
-/** The first line of every entry and index file. */
-std::string
-formatHeader()
-{
-    return std::string(support::kCacheFormatName) + " " +
-           support::kVersionString + "\n";
-}
-
-/** Cursor over the entry text: strict line-oriented reads. */
-struct EntryReader
-{
-    const std::string &text;
-    std::size_t pos = 0;
-    std::string error;
-
-    bool
-    fail(const std::string &what)
-    {
-        if (error.empty())
-            error = what + " at offset " + std::to_string(pos);
-        return false;
-    }
-
-    /** Read up to the next '\n' (consumed, not returned). */
-    bool
-    line(std::string &out)
-    {
-        std::size_t nl = text.find('\n', pos);
-        if (nl == std::string::npos)
-            return fail("truncated entry (missing newline)");
-        out = text.substr(pos, nl - pos);
-        pos = nl + 1;
-        return true;
-    }
-
-    /** Read exactly @p n raw bytes plus a trailing '\n'. */
-    bool
-    raw(std::size_t n, std::string &out)
-    {
-        if (pos + n + 1 > text.size() || text[pos + n] != '\n')
-            return fail("truncated raw block");
-        out = text.substr(pos, n);
-        pos += n + 1;
-        return true;
-    }
-};
-
-bool
-scanU64(const std::string &line, const char *fmt, std::uint64_t &out)
-{
-    return std::sscanf(line.c_str(), fmt, &out) == 1;
-}
-
-} // namespace
+//
+// The container conventions (version-stamped header, FNV-1a checksum
+// line, atomic writes, content-hash index) live in support/cache_store;
+// this file only encodes/decodes the SynthesisReport payload.
 
 std::string
 cacheEntryHash(const std::string &key)
 {
-    return hex16(fnv1a64(key.data(), key.size(), kFnvOffset));
+    return support::cacheContentHash(key);
 }
 
 std::string
 encodeCacheEntry(const std::string &key, const SynthesisReport &report)
 {
     std::ostringstream os;
-    os << formatHeader();
+    os << support::cacheFormatHeader(support::kCacheFormatName);
     os << "key " << key.size() << "\n" << key << "\n";
     char power[64];
     std::snprintf(power, sizeof(power), "%a", report.powerW);
@@ -192,31 +118,8 @@ encodeCacheEntry(const std::string &key, const SynthesisReport &report)
     for (const auto &[name, cycles] : report.nestLatencies)
         os << "nest " << name.size() << ":" << name << " " << cycles
            << "\n";
-    std::string body = os.str();
-    return body + "sum " +
-           hex16(fnv1a64(body.data(), body.size(), kFnvOffset)) + "\n";
+    return support::sealCacheEntry(os.str());
 }
-
-namespace {
-
-/** Parse "<len>:<name>" at the front of @p rest; true on success. */
-bool
-splitNamed(const std::string &rest, std::string &name, std::string &tail)
-{
-    std::size_t colon = rest.find(':');
-    if (colon == std::string::npos)
-        return false;
-    std::int64_t n = 0;
-    if (!support::parseInt64(rest.substr(0, colon), n) || n < 0 ||
-        colon + 1 + static_cast<std::size_t>(n) > rest.size()) {
-        return false;
-    }
-    name = rest.substr(colon + 1, static_cast<std::size_t>(n));
-    tail = rest.substr(colon + 1 + static_cast<std::size_t>(n));
-    return true;
-}
-
-} // namespace
 
 bool
 decodeCacheEntry(const std::string &text, std::string &key,
@@ -225,36 +128,14 @@ decodeCacheEntry(const std::string &text, std::string &key,
     error.clear();
     report = SynthesisReport();
 
-    // Checksum first: everything before the final "sum " line.
-    std::size_t sum_at = text.rfind("sum ");
-    if (sum_at == std::string::npos || sum_at == 0 ||
-        text[sum_at - 1] != '\n') {
-        error = "missing checksum line";
-        return false;
-    }
-    std::string want = hex16(fnv1a64(text.data(), sum_at, kFnvOffset));
-    std::string got = text.substr(sum_at + 4);
-    while (!got.empty() && (got.back() == '\n' || got.back() == '\r'))
-        got.pop_back();
-    if (got != want) {
-        error = "checksum mismatch (corrupt entry)";
+    std::size_t body = 0;
+    if (!support::openCacheEntry(text, support::kCacheFormatName, body,
+                                 error)) {
         return false;
     }
 
-    EntryReader r{text};
+    support::CacheEntryReader r{text, body};
     std::string ln;
-    if (!r.line(ln)) {
-        error = r.error;
-        return false;
-    }
-    std::string expect_header = formatHeader();
-    expect_header.pop_back(); // the '\n' the reader consumed
-    if (ln != expect_header) {
-        error = "cache format/version mismatch: entry says '" + ln +
-                "', this build is '" + expect_header + "'";
-        return false;
-    }
-
     auto fail = [&](const std::string &what) {
         error = r.error.empty() ? what : r.error;
         return false;
@@ -289,7 +170,7 @@ decodeCacheEntry(const std::string &text, std::string &key,
         return fail("malformed power value");
 
     std::uint64_t count = 0;
-    if (!r.line(ln) || !scanU64(ln, "loops %" SCNu64, count))
+    if (!r.line(ln) || !support::scanU64(ln, "loops %" SCNu64, count))
         return fail("missing loops count");
     if (count > 1000000)
         return fail("implausible loop count");
@@ -298,7 +179,7 @@ decodeCacheEntry(const std::string &text, std::string &key,
             return fail("missing loop line");
         LoopReport loop;
         std::string tail;
-        if (!splitNamed(ln.substr(5), loop.iterName, tail))
+        if (!support::splitNamed(ln.substr(5), loop.iterName, tail))
             return fail("malformed loop name");
         char target[32] = {0};
         long long trip = 0;
@@ -321,7 +202,7 @@ decodeCacheEntry(const std::string &text, std::string &key,
         report.loops.push_back(std::move(loop));
     }
 
-    if (!r.line(ln) || !scanU64(ln, "nests %" SCNu64, count))
+    if (!r.line(ln) || !support::scanU64(ln, "nests %" SCNu64, count))
         return fail("missing nests count");
     if (count > 1000000)
         return fail("implausible nest count");
@@ -329,7 +210,7 @@ decodeCacheEntry(const std::string &text, std::string &key,
         if (!r.line(ln) || ln.rfind("nest ", 0) != 0)
             return fail("missing nest line");
         std::string name, tail;
-        if (!splitNamed(ln.substr(5), name, tail))
+        if (!support::splitNamed(ln.substr(5), name, tail))
             return fail("malformed nest name");
         unsigned long long cycles = 0;
         if (std::sscanf(tail.c_str(), " %llu", &cycles) != 1)
@@ -392,63 +273,6 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/** Write @p content to @p path via a temp file + rename (atomic). */
-bool
-writeAtomically(const fs::path &path, const std::string &content,
-                std::string &error)
-{
-    fs::path tmp = path;
-    tmp += ".tmp." + std::to_string(::getpid());
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out || !(out << content) || !out.flush()) {
-            error = "cannot write '" + tmp.string() + "'";
-            return false;
-        }
-    }
-    std::error_code ec;
-    fs::rename(tmp, path, ec);
-    if (ec) {
-        error = "cannot rename '" + tmp.string() + "': " + ec.message();
-        fs::remove(tmp, ec);
-        return false;
-    }
-    return true;
-}
-
-/**
- * Read the index at @p path into @p hashes. Absent file -> true with
- * nothing read (cold start); wrong format/version or unreadable ->
- * false with @p error.
- */
-bool
-readIndex(const fs::path &path, std::vector<std::string> &hashes,
-          std::string &error)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return true;
-    std::string header;
-    if (!std::getline(in, header)) {
-        error = "cache index '" + path.string() + "' is empty";
-        return false;
-    }
-    std::string expect = formatHeader();
-    expect.pop_back();
-    if (header != expect) {
-        error = "cache index '" + path.string() +
-                "' format/version mismatch: index says '" + header +
-                "', this build is '" + expect + "'";
-        return false;
-    }
-    std::string line;
-    while (std::getline(in, line)) {
-        if (!line.empty())
-            hashes.push_back(line);
-    }
-    return true;
-}
-
 } // namespace
 
 bool
@@ -459,8 +283,11 @@ EstimatorCache::loadDir(const std::string &dir, SpillStats &stats,
     error.clear();
     fs::path root(dir);
     std::vector<std::string> hashes;
-    if (!readIndex(root / "index", hashes, error))
+    if (!support::readCacheIndex((root / "index").string(),
+                                 support::kCacheFormatName, hashes,
+                                 error)) {
         return false;
+    }
     for (const auto &hash : hashes) {
         fs::path object = root / "objects" / hash;
         std::ifstream in(object, std::ios::binary);
@@ -513,8 +340,11 @@ EstimatorCache::saveDir(const std::string &dir, SpillStats &stats,
     // processes sharing one cache dir union their entries.
     std::vector<std::string> hashes;
     std::string index_error;
-    if (!readIndex(root / "index", hashes, index_error))
+    if (!support::readCacheIndex((root / "index").string(),
+                                 support::kCacheFormatName, hashes,
+                                 index_error)) {
         hashes.clear(); // stale-format index: rebuild from scratch
+    }
 
     std::vector<std::pair<std::string, SynthesisReport>> entries =
         snapshot();
@@ -524,8 +354,9 @@ EstimatorCache::saveDir(const std::string &dir, SpillStats &stats,
         if (fs::exists(object, ec)) {
             ++stats.kept;
         } else {
-            if (!writeAtomically(object, encodeCacheEntry(key, report),
-                                 error)) {
+            if (!support::writeFileAtomically(
+                    object.string(), encodeCacheEntry(key, report),
+                    error)) {
                 return false;
             }
             ++stats.written;
@@ -537,10 +368,11 @@ EstimatorCache::saveDir(const std::string &dir, SpillStats &stats,
     hashes.erase(std::unique(hashes.begin(), hashes.end()),
                  hashes.end());
     std::ostringstream index;
-    index << formatHeader();
+    index << support::cacheFormatHeader(support::kCacheFormatName);
     for (const auto &hash : hashes)
         index << hash << "\n";
-    return writeAtomically(root / "index", index.str(), error);
+    return support::writeFileAtomically((root / "index").string(),
+                                        index.str(), error);
 }
 
 EstimatorCache &

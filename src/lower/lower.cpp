@@ -7,6 +7,7 @@
 #include "pass/pass_manager.h"
 #include "support/diagnostics.h"
 #include "support/string_util.h"
+#include "support/thread_pool.h"
 
 namespace pom::lower {
 
@@ -136,30 +137,53 @@ accessesOf(const dsl::Compute &compute)
     return accesses;
 }
 
+namespace {
+
+/**
+ * The worker pool for intra-candidate statement parallelism, or null
+ * to run inline. parallelFor() additionally falls back to inline
+ * execution on pool worker threads (a DSE worker lowering a candidate
+ * must not block on its own pool), so nesting is always safe.
+ */
+support::ThreadPool *
+stmtPool(std::size_t n)
+{
+    if (n < 2 || support::jobs() <= 1)
+        return nullptr;
+    return &support::ThreadPool::global();
+}
+
+} // namespace
+
 std::vector<transform::PolyStmt>
 extractStmts(const dsl::Function &func)
 {
     if (func.computes().empty())
         support::fatal("function '" + func.name() + "' has no computes");
-    std::vector<transform::PolyStmt> stmts;
-    std::int64_t seq = 0;
-    for (const dsl::Compute *c : func.computes()) {
-        std::vector<std::string> names;
-        std::vector<std::int64_t> lows, highs;
-        for (const auto &v : c->iters()) {
-            names.push_back(v.name());
-            lows.push_back(v.lo());
-            highs.push_back(v.hi() - 1); // DSL ranges are half-open
-        }
-        transform::PolyStmt stmt;
-        stmt.sched = ast::ScheduledStmt::identity(
-            c->name(), IntegerSet::box(names, lows, highs));
-        // Leave room between top-level betas so `after` can interleave.
-        stmt.sched.betas[0] = 16 * seq++;
-        stmt.accesses = accessesOf(*c);
-        stmt.source = c;
-        stmts.push_back(std::move(stmt));
-    }
+    const auto &computes = func.computes();
+    // Each statement is extracted independently; the indexed merge
+    // keeps the result byte-identical at any worker count.
+    std::vector<transform::PolyStmt> stmts(computes.size());
+    support::parallelFor(
+        stmtPool(computes.size()), computes.size(), [&](std::size_t i) {
+            const dsl::Compute *c = computes[i];
+            std::vector<std::string> names;
+            std::vector<std::int64_t> lows, highs;
+            for (const auto &v : c->iters()) {
+                names.push_back(v.name());
+                lows.push_back(v.lo());
+                highs.push_back(v.hi() - 1); // DSL ranges are half-open
+            }
+            transform::PolyStmt stmt;
+            stmt.sched = ast::ScheduledStmt::identity(
+                c->name(), IntegerSet::box(names, lows, highs));
+            // Leave room between top-level betas so `after` can
+            // interleave.
+            stmt.sched.betas[0] = 16 * static_cast<std::int64_t>(i);
+            stmt.accesses = accessesOf(*c);
+            stmt.source = c;
+            stmts[i] = std::move(stmt);
+        });
     return stmts;
 }
 
@@ -414,34 +438,44 @@ generateAffine(const dsl::Function &func,
 std::size_t
 annotateDependenceHints(std::vector<transform::PolyStmt> &stmts)
 {
-    std::size_t hints = 0;
-    for (auto &stmt : stmts) {
-        bool any_pipeline = false;
-        for (const auto &hw : stmt.sched.hwPerDim)
-            any_pipeline |= hw.pipelineII.has_value();
-        if (!any_pipeline)
-            continue;
-        auto deps = transform::selfDependences(stmt);
-        for (size_t p = 0; p < stmt.numDims(); ++p) {
-            auto &hw = stmt.sched.hwPerDim[p];
-            if (!hw.pipelineII)
-                continue;
-            hw.independentArrays.clear();
-            for (const auto &acc : stmt.accesses) {
-                if (!acc.isWrite)
+    // The dependence analysis of each statement is independent of the
+    // others (selfDependences reads only that statement), so statements
+    // are processed in parallel; per-statement hint counts merge in
+    // statement order, keeping the total and every annotation
+    // byte-identical at any worker count.
+    std::vector<std::size_t> per_stmt(stmts.size(), 0);
+    support::parallelFor(
+        stmtPool(stmts.size()), stmts.size(), [&](std::size_t idx) {
+            auto &stmt = stmts[idx];
+            bool any_pipeline = false;
+            for (const auto &hw : stmt.sched.hwPerDim)
+                any_pipeline |= hw.pipelineII.has_value();
+            if (!any_pipeline)
+                return;
+            auto deps = transform::selfDependences(stmt);
+            for (size_t p = 0; p < stmt.numDims(); ++p) {
+                auto &hw = stmt.sched.hwPerDim[p];
+                if (!hw.pipelineII)
                     continue;
-                bool carried_inside = false;
-                for (const auto &d : deps) {
-                    if (d.array == acc.array && d.level >= p)
-                        carried_inside = true;
-                }
-                if (!carried_inside) {
-                    hw.independentArrays.push_back(acc.array);
-                    ++hints;
+                hw.independentArrays.clear();
+                for (const auto &acc : stmt.accesses) {
+                    if (!acc.isWrite)
+                        continue;
+                    bool carried_inside = false;
+                    for (const auto &d : deps) {
+                        if (d.array == acc.array && d.level >= p)
+                            carried_inside = true;
+                    }
+                    if (!carried_inside) {
+                        hw.independentArrays.push_back(acc.array);
+                        ++per_stmt[idx];
+                    }
                 }
             }
-        }
-    }
+        });
+    std::size_t hints = 0;
+    for (std::size_t n : per_stmt)
+        hints += n;
     return hints;
 }
 
@@ -450,13 +484,15 @@ namespace {
 LoweredFunction
 runLoweringPipeline(const dsl::Function &func,
                     std::vector<transform::PolyStmt> stmts,
-                    const std::string &pipeline)
+                    const std::string &pipeline, bool needIr)
 {
     registerLoweringPasses();
     pass::PipelineState state;
     state.dslFunc = &func;
     state.stmts = std::move(stmts);
-    pass::PassManager pm;
+    pass::PassManagerOptions options;
+    options.deferFinalIr = !needIr;
+    pass::PassManager pm(options);
     pm.addPipeline(pipeline);
     pm.run(state);
     LoweredFunction out;
@@ -470,10 +506,11 @@ runLoweringPipeline(const dsl::Function &func,
 
 LoweredFunction
 lowerStmts(const dsl::Function &func,
-           std::vector<transform::PolyStmt> stmts)
+           std::vector<transform::PolyStmt> stmts, bool needIr)
 {
     return runLoweringPipeline(func, std::move(stmts),
-                               "annotate-pragmas,build-ast,ast-to-affine");
+                               "annotate-pragmas,build-ast,ast-to-affine",
+                               needIr);
 }
 
 LoweredFunction
@@ -482,7 +519,8 @@ lower(const dsl::Function &func)
     return runLoweringPipeline(
         func, {},
         "extract-stmts,schedule-apply,annotate-pragmas,build-ast,"
-        "ast-to-affine");
+        "ast-to-affine",
+        /*needIr=*/true);
 }
 
 } // namespace pom::lower

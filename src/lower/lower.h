@@ -68,9 +68,17 @@ generateAffine(const dsl::Function &func,
                const std::vector<transform::PolyStmt> &stmts,
                const ast::AstNode &astRoot);
 
-/** Build the polyhedral AST and generate annotated affine dialect. */
+/**
+ * Build the polyhedral AST and generate annotated affine dialect.
+ * With @p needIr false and the pipeline cache active, a cached
+ * ast-to-affine result is left unparsed and LoweredFunction::func may
+ * be null -- callers that read only stmts + astRoot (the DSE
+ * estimation path) skip the parse entirely. With the cache off the
+ * flag has no effect and func is always populated.
+ */
 LoweredFunction lowerStmts(const dsl::Function &func,
-                           std::vector<transform::PolyStmt> stmts);
+                           std::vector<transform::PolyStmt> stmts,
+                           bool needIr = true);
 
 /** Full pipeline: extract, apply primitives, build AST, generate IR. */
 LoweredFunction lower(const dsl::Function &func);

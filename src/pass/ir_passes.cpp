@@ -30,6 +30,14 @@ class VerifyPass : public Pass
   public:
     VerifyPass() : Pass("verify") {}
 
+    // A failed verification throws before the result is stored, so a
+    // cached entry always replays "this exact IR verified clean".
+    CachePayloadKind
+    cachePayloadKind() const override
+    {
+        return CachePayloadKind::None;
+    }
+
     void
     run(PipelineState &state) override
     {
@@ -53,6 +61,12 @@ class StripHlsPass : public Pass
 {
   public:
     StripHlsPass() : Pass("strip-hls") {}
+
+    CachePayloadKind
+    cachePayloadKind() const override
+    {
+        return CachePayloadKind::IrText;
+    }
 
     void
     run(PipelineState &state) override
@@ -86,6 +100,12 @@ class CountOpsPass : public Pass
 {
   public:
     CountOpsPass() : Pass("count-ops") {}
+
+    CachePayloadKind
+    cachePayloadKind() const override
+    {
+        return CachePayloadKind::None;
+    }
 
     void
     run(PipelineState &state) override

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Incremental pass-pipeline caching, layered exactly like
+ * hls::EstimatorCache. A pass execution is identified by a *canonical
+ * fingerprint* of everything it can observe: the POM version, the pass
+ * name and its canonicalized PassOptions, and a byte-stable textual
+ * serialization of the whole PipelineState (DSL function incl.
+ * partition state and directives, polyhedral statements incl. accesses
+ * and hardware annotations, the polyhedral AST print, and the textual
+ * IR print). Two pipeline runs whose states coincide up to some pass
+ * therefore share that prefix: PassManager::run() looks each cacheable
+ * pass up before running it and replays the stored result instead --
+ * the longest cached prefix of the pipeline is skipped, and the first
+ * diverging pass misses (its input fingerprint differs) and everything
+ * after it runs for real.
+ *
+ * The full canonical string is the cache key -- no lossy hashing, so a
+ * hit can never replay the result of a different state. The in-memory
+ * store is size-capped (FIFO eviction) and spills to the same
+ * content-addressed `--cache-dir` layout as the estimator cache:
+ *
+ *   <dir>/pipeline.index      list of entry hashes (atomic rewrite)
+ *   <dir>/pipeline/<hash>     one entry: full key + payload + stats
+ *
+ * with version-stamped headers, per-entry checksums, atomic temp+rename
+ * writes and skip-and-warn on corruption (support/cache_store.h), so
+ * pomd warm-starts pipelines across restarts.
+ *
+ * The cache is disabled by default (process-wide flag); pomc/pom-opt
+ * `--pipeline-cache`, pomd, and the benches switch it on. DSE per-point
+ * verification opts out thread-locally (PipelineCacheDisableScope) so
+ * the oracle always exercises the real pipeline.
+ */
+
+#ifndef POM_PASS_PIPELINE_CACHE_H
+#define POM_PASS_PIPELINE_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pass/pass.h"
+#include "support/cache_store.h"
+
+namespace pom::pass {
+
+/** One cached pass result: replay payload + the recorded execution. */
+struct PipelineCacheEntry
+{
+    /** Replay data; meaning depends on the pass's CachePayloadKind. */
+    std::string payload;
+
+    /** The statistics the original run() recorded. */
+    std::map<std::string, std::int64_t> statistics;
+
+    /** Wall-clock seconds of the original (uncached) run. */
+    double seconds = 0.0;
+};
+
+/**
+ * Full cache key of one pass execution: version stamp, pass identity
+ * (name + canonical options) and the state fingerprint. @p funcText,
+ * when non-null, stands in for state.func's print (the PassManager
+ * passes pending cached IR text so a fingerprint never forces a
+ * parse).
+ */
+std::string passCacheKey(const Pass &pass, const PipelineState &state,
+                         const std::string *funcText = nullptr);
+
+/**
+ * Byte-stable textual serialization of a PipelineState -- the state
+ * component of passCacheKey(). Exposed separately for tests.
+ */
+std::string
+pipelineStateFingerprint(const PipelineState &state,
+                         const std::string *funcText = nullptr);
+
+/**
+ * Serialize one (key, entry) pair as the on-disk entry format:
+ * version-stamped header, length-prefixed key, hexfloat seconds,
+ * length-prefixed stats and payload, trailing checksum line.
+ */
+std::string encodePipelineCacheEntry(const std::string &key,
+                                     const PipelineCacheEntry &entry);
+
+/**
+ * Parse an entry produced by encodePipelineCacheEntry(). Returns false
+ * with a diagnostic in @p error on a version/format mismatch, checksum
+ * failure, or any malformed field.
+ */
+bool decodePipelineCacheEntry(const std::string &text, std::string &key,
+                              PipelineCacheEntry &entry,
+                              std::string &error);
+
+/**
+ * Thread-safe fingerprint -> PipelineCacheEntry map with hit
+ * statistics, a FIFO size cap, and content-addressed disk spill.
+ */
+class PipelineCache
+{
+  public:
+    /** Cached entry for @p key; counts a hit/miss either way. */
+    std::optional<PipelineCacheEntry> lookup(const std::string &key);
+
+    /** Insert (first writer wins); evicts FIFO past the size cap. */
+    void store(const std::string &key, PipelineCacheEntry entry);
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::size_t size() const;
+
+    /** In-memory entry cap; 0 means unlimited. */
+    std::size_t capacity() const;
+    void setCapacity(std::size_t capacity);
+
+    /** Drop all entries and reset the statistics (cold-run benches). */
+    void clear();
+
+    /** Copy of all entries, insertion-ordered (spilling, tests). */
+    std::vector<std::pair<std::string, PipelineCacheEntry>>
+    snapshot() const;
+
+    /**
+     * Load `<dir>/pipeline.index` + objects written by saveDir().
+     * Missing directory/index -> cold start (true, zero stats); wrong
+     * format/version -> clean error. Corrupt entries are skipped with
+     * a warning. Does not touch the hit/miss statistics.
+     */
+    bool loadDir(const std::string &dir,
+                 support::CacheSpillStats &stats, std::string &error);
+
+    /**
+     * Spill every in-memory entry under @p dir (created on demand),
+     * content-addressed; atomic writes, index merge with concurrent
+     * savers, existing objects left untouched.
+     */
+    bool saveDir(const std::string &dir,
+                 support::CacheSpillStats &stats,
+                 std::string &error) const;
+
+    /** The process-wide cache PassManager::run() consults. */
+    static PipelineCache &global();
+
+  private:
+    void evictLocked();
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, PipelineCacheEntry> map_;
+    std::deque<std::string> order_; ///< insertion order (FIFO evict)
+    std::size_t capacity_ = 4096;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+/** Process-wide switch; off by default (tools/benches opt in). */
+void setPipelineCacheEnabled(bool enabled);
+bool pipelineCacheEnabled();
+
+/**
+ * True when PassManager::run() should consult the cache on this
+ * thread: the process-wide switch is on and no disable scope is live.
+ */
+bool pipelineCacheActive();
+
+/**
+ * Thread-local opt-out (RAII): per-point DSE verification and other
+ * paths that must exercise the real pipeline wrap themselves in one.
+ */
+class PipelineCacheDisableScope
+{
+  public:
+    PipelineCacheDisableScope();
+    ~PipelineCacheDisableScope();
+    PipelineCacheDisableScope(const PipelineCacheDisableScope &) = delete;
+    PipelineCacheDisableScope &
+    operator=(const PipelineCacheDisableScope &) = delete;
+
+  private:
+    bool prev_;
+};
+
+} // namespace pom::pass
+
+#endif // POM_PASS_PIPELINE_CACHE_H

@@ -106,6 +106,10 @@ encodeRequest(const Request &r)
         field(os, first, "resources", r.resourceFraction);
         field(os, first, "emit", r.emit);
         field(os, first, "journal", r.journal);
+        // Only an explicit override goes on the wire; absence means
+        // "use the daemon's --jobs", exactly like an older client.
+        if (r.jobs != 0)
+            field(os, first, "jobs", r.jobs);
     } else if (r.method == "opt") {
         field(os, first, "ir", r.ir);
         field(os, first, "pipeline", r.pipeline);
@@ -157,6 +161,9 @@ encodeResponse(const Response &r)
         // the two on the wire.
         field(os, first, "cache_hits", r.cacheHits);
         field(os, first, "cache_misses", r.cacheMisses);
+        field(os, first, "pipeline_cache_hits", r.pipelineCacheHits);
+        field(os, first, "pipeline_cache_misses",
+              r.pipelineCacheMisses);
     }
     if (r.status == "ok" && r.statsFrame) {
         field(os, first, "requests_served", r.requestsServed);
@@ -166,6 +173,11 @@ encodeResponse(const Response &r)
         field(os, first, "queue_depth_max", r.queueDepthMax);
         field(os, first, "uptime_seconds", r.uptimeSeconds);
         field(os, first, "cache_hit_rate", r.cacheHitRate);
+        field(os, first, "pipeline_cache_size", r.pipelineCacheSize);
+        field(os, first, "pipeline_cache_loaded",
+              r.pipelineCacheLoaded);
+        field(os, first, "pipeline_cache_hit_rate",
+              r.pipelineCacheHitRate);
         histogramField(os, first, "queue_wait_ms", r.queueWaitMs);
         histogramField(os, first, "service_ms", r.serviceMs);
     }
@@ -206,6 +218,8 @@ decodeRequest(const std::string &text, Request &out, std::string &error)
         out.emit = v->asBool(out.emit);
     if (const auto *v = doc.find("journal"))
         out.journal = v->asString(out.journal);
+    if (const auto *v = doc.find("jobs"))
+        out.jobs = v->asInt(out.jobs);
     if (const auto *v = doc.find("ir"))
         out.ir = v->asString();
     if (const auto *v = doc.find("pipeline"))
@@ -266,6 +280,10 @@ decodeResponse(const std::string &text, Response &out,
         out.cacheHits = v->asInt();
     if (const auto *v = doc.find("cache_misses"))
         out.cacheMisses = v->asInt();
+    if (const auto *v = doc.find("pipeline_cache_hits"))
+        out.pipelineCacheHits = v->asInt();
+    if (const auto *v = doc.find("pipeline_cache_misses"))
+        out.pipelineCacheMisses = v->asInt();
     if (const auto *v = doc.find("requests_served")) {
         out.statsFrame = true;
         out.requestsServed = v->asInt();
@@ -282,6 +300,12 @@ decodeResponse(const std::string &text, Response &out,
         out.uptimeSeconds = v->asDouble();
     if (const auto *v = doc.find("cache_hit_rate"))
         out.cacheHitRate = v->asDouble();
+    if (const auto *v = doc.find("pipeline_cache_size"))
+        out.pipelineCacheSize = v->asInt();
+    if (const auto *v = doc.find("pipeline_cache_loaded"))
+        out.pipelineCacheLoaded = v->asInt();
+    if (const auto *v = doc.find("pipeline_cache_hit_rate"))
+        out.pipelineCacheHitRate = v->asDouble();
     if (const auto *v = doc.find("queue_wait_ms"))
         decodeHistogram(*v, out.queueWaitMs);
     if (const auto *v = doc.find("service_ms"))
@@ -325,6 +349,21 @@ statsPrometheus(const Response &stats)
     scalar("pomd_estimator_cache_loaded_entries", "gauge",
            "Entries warm-loaded from the disk spill at start.",
            std::to_string(stats.cacheLoaded));
+    scalar("pomd_pipeline_cache_hits_total", "counter",
+           "Pipeline-cache hits across all requests.",
+           std::to_string(stats.pipelineCacheHits));
+    scalar("pomd_pipeline_cache_misses_total", "counter",
+           "Pipeline-cache misses across all requests.",
+           std::to_string(stats.pipelineCacheMisses));
+    scalar("pomd_pipeline_cache_hit_rate", "gauge",
+           "hits / (hits + misses); 0 when idle.",
+           num(stats.pipelineCacheHitRate));
+    scalar("pomd_pipeline_cache_entries", "gauge",
+           "Entries currently in the pipeline cache.",
+           std::to_string(stats.pipelineCacheSize));
+    scalar("pomd_pipeline_cache_loaded_entries", "gauge",
+           "Entries warm-loaded from the disk spill at start.",
+           std::to_string(stats.pipelineCacheLoaded));
     scalar("pomd_request_queue_depth", "gauge",
            "Requests queued or executing right now.",
            std::to_string(stats.queueDepth));

@@ -60,6 +60,12 @@ struct Request
     bool emit = false;          ///< also return the HLS C
     std::string journal = "none"; ///< none | v1 | v2
 
+    /** Lowering/DSE worker override for THIS request; 0 = the daemon's
+     *  own `--jobs` setting. Must not exceed the daemon's `--workers`
+     *  pool (the daemon rejects larger values with a structured
+     *  error), so one request cannot oversubscribe the host. */
+    std::int64_t jobs = 0;
+
     // -- opt --
     std::string ir;       ///< textual .pom-ir module
     std::string pipeline; ///< pass pipeline spec (may be empty)
@@ -113,6 +119,8 @@ struct Response
     // counters. Stats frames reuse the same fields for daemon totals.
     std::int64_t cacheHits = 0;
     std::int64_t cacheMisses = 0;
+    std::int64_t pipelineCacheHits = 0;
+    std::int64_t pipelineCacheMisses = 0;
 
     // -- stats frames only (statsFrame == true) --
     bool statsFrame = false; ///< not wire-encoded; set when the frame
@@ -124,6 +132,9 @@ struct Response
     std::int64_t queueDepthMax = 0; ///< high-water mark since start
     double uptimeSeconds = 0.0;
     double cacheHitRate = 0.0; ///< hits / (hits + misses), 0 when idle
+    std::int64_t pipelineCacheSize = 0;
+    std::int64_t pipelineCacheLoaded = 0; ///< warm-loaded from disk
+    double pipelineCacheHitRate = 0.0;
     HistogramWire queueWaitMs;  ///< dispatch -> execution start
     HistogramWire serviceMs;    ///< execution start -> response ready
 };

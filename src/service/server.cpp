@@ -12,6 +12,7 @@
 #include "obs/journal.h"
 #include "obs/obs.h"
 #include "pass/pass_manager.h"
+#include "pass/pipeline_cache.h"
 #include "support/diagnostics.h"
 #include "support/version.h"
 #include "workloads/workloads.h"
@@ -78,6 +79,14 @@ Server::start(std::string &error)
     if (!opt_.cacheDir.empty() &&
         !hls::EstimatorCache::global().loadDir(opt_.cacheDir,
                                                load_stats_, error)) {
+        return false;
+    }
+    // The daemon always keeps the in-memory pipeline cache on: reusing
+    // lowered pipelines between requests is why one runs a daemon.
+    pass::setPipelineCacheEnabled(true);
+    if (!opt_.pipelineCacheDir.empty() &&
+        !pass::PipelineCache::global().loadDir(
+            opt_.pipelineCacheDir, pipeline_load_stats_, error)) {
         return false;
     }
     listener_ = support::listenUnix(opt_.socketPath, 64, error);
@@ -292,6 +301,23 @@ Server::compileResponse(const Request &request, std::int64_t requestId)
                          "' (valid: " + dse::strategyNames() + ")";
         return response;
     }
+    if (request.jobs < 0) {
+        response.status = "error";
+        response.error = "jobs must be non-negative (0 = daemon "
+                         "default)";
+        return response;
+    }
+    if (request.jobs > opt_.workers) {
+        response.status = "error";
+        response.error =
+            "jobs " + std::to_string(request.jobs) +
+            " exceeds the daemon's --workers pool (" +
+            std::to_string(opt_.workers) +
+            "); request at most " + std::to_string(opt_.workers) +
+            " or restart the daemon with more workers";
+        return response;
+    }
+    options.jobs = static_cast<int>(request.jobs);
 
     // Snapshot-delta around the run: the estimator cache is process
     // global, so concurrent requests would otherwise alias each other's
@@ -299,6 +325,9 @@ Server::compileResponse(const Request &request, std::int64_t requestId)
     auto &cache = hls::EstimatorCache::global();
     std::uint64_t hits0 = cache.hits();
     std::uint64_t misses0 = cache.misses();
+    auto &pipeline = pass::PipelineCache::global();
+    std::uint64_t phits0 = pipeline.hits();
+    std::uint64_t pmisses0 = pipeline.misses();
 
     auto workload =
         workloads::makeByName(request.workload, request.size);
@@ -334,6 +363,10 @@ Server::compileResponse(const Request &request, std::int64_t requestId)
     response.cacheHits = static_cast<std::int64_t>(cache.hits() - hits0);
     response.cacheMisses =
         static_cast<std::int64_t>(cache.misses() - misses0);
+    response.pipelineCacheHits =
+        static_cast<std::int64_t>(pipeline.hits() - phits0);
+    response.pipelineCacheMisses =
+        static_cast<std::int64_t>(pipeline.misses() - pmisses0);
     // requestId 0 = unattributed (direct execute / one-shot parity):
     // pass -1 so the journal header stays byte-identical to `pomc`.
     std::int64_t journalId = requestId > 0 ? requestId : -1;
@@ -355,6 +388,9 @@ Server::optResponse(const Request &request)
 {
     Response response;
     auto begin = std::chrono::steady_clock::now();
+    auto &pipeline = pass::PipelineCache::global();
+    std::uint64_t phits0 = pipeline.hits();
+    std::uint64_t pmisses0 = pipeline.misses();
     pass::PipelineState state;
     state.func = ir::parseIr(request.ir);
     pass::PassManager manager;
@@ -362,6 +398,10 @@ Server::optResponse(const Request &request)
         manager.addPipeline(request.pipeline);
     manager.run(state);
     response.irOut = state.func ? state.func->str() : "";
+    response.pipelineCacheHits =
+        static_cast<std::int64_t>(pipeline.hits() - phits0);
+    response.pipelineCacheMisses =
+        static_cast<std::int64_t>(pipeline.misses() - pmisses0);
     response.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       begin)
@@ -382,6 +422,22 @@ Server::statsResponse()
     response.cacheSize = static_cast<std::int64_t>(cache.size());
     response.cacheLoaded =
         static_cast<std::int64_t>(load_stats_.loaded);
+    auto &pipeline = pass::PipelineCache::global();
+    response.pipelineCacheHits =
+        static_cast<std::int64_t>(pipeline.hits());
+    response.pipelineCacheMisses =
+        static_cast<std::int64_t>(pipeline.misses());
+    response.pipelineCacheSize =
+        static_cast<std::int64_t>(pipeline.size());
+    response.pipelineCacheLoaded =
+        static_cast<std::int64_t>(pipeline_load_stats_.loaded);
+    std::int64_t pprobes =
+        response.pipelineCacheHits + response.pipelineCacheMisses;
+    response.pipelineCacheHitRate =
+        pprobes > 0
+            ? static_cast<double>(response.pipelineCacheHits) /
+                  static_cast<double>(pprobes)
+            : 0.0;
     response.queueDepth = pending_.load(std::memory_order_relaxed);
     response.queueDepthMax =
         pendingMax_.load(std::memory_order_relaxed);
@@ -401,15 +457,27 @@ Server::statsResponse()
 void
 Server::saveCache()
 {
-    if (opt_.cacheDir.empty())
+    if (opt_.cacheDir.empty() && opt_.pipelineCacheDir.empty())
         return;
     std::lock_guard<std::mutex> lock(save_mutex_);
-    hls::SpillStats stats;
     std::string error;
-    if (!hls::EstimatorCache::global().saveDir(opt_.cacheDir, stats,
-                                               error)) {
-        support::diag(support::DiagLevel::Warning,
-                      "pomd: cache spill failed: " + error);
+    if (!opt_.cacheDir.empty()) {
+        hls::SpillStats stats;
+        if (!hls::EstimatorCache::global().saveDir(opt_.cacheDir,
+                                                   stats, error)) {
+            support::diag(support::DiagLevel::Warning,
+                          "pomd: cache spill failed: " + error);
+        }
+    }
+    if (!opt_.pipelineCacheDir.empty()) {
+        support::CacheSpillStats pstats;
+        error.clear();
+        if (!pass::PipelineCache::global().saveDir(
+                opt_.pipelineCacheDir, pstats, error)) {
+            support::diag(support::DiagLevel::Warning,
+                          "pomd: pipeline-cache spill failed: " +
+                              error);
+        }
     }
 }
 

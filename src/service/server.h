@@ -44,6 +44,7 @@
 
 #include "hls/estimator_cache.h"
 #include "service/protocol.h"
+#include "support/cache_store.h"
 #include "support/socket.h"
 #include "support/thread_pool.h"
 
@@ -57,6 +58,12 @@ struct ServerOptions
 
     /** Estimator-cache spill directory; empty = no persistence. */
     std::string cacheDir;
+
+    /** Pipeline-cache spill directory; empty = in-memory only. The
+     *  in-memory pipeline cache itself is always enabled in the
+     *  daemon -- keeping lowered pipelines warm between requests is
+     *  the point of a daemon. */
+    std::string pipelineCacheDir;
 
     /** Concurrent request executors. */
     int workers = 2;
@@ -104,6 +111,12 @@ class Server
     /** Entries warm-loaded from the cache dir at start(). */
     const hls::SpillStats &loadStats() const { return load_stats_; }
 
+    /** Pipeline-cache entries warm-loaded at start(). */
+    const support::CacheSpillStats &pipelineLoadStats() const
+    {
+        return pipeline_load_stats_;
+    }
+
     std::uint64_t requestsServed() const { return served_.load(); }
 
     /**
@@ -135,6 +148,7 @@ class Server
     std::atomic<std::int64_t> nextRequestId_{0};
     std::chrono::steady_clock::time_point startTime_;
     hls::SpillStats load_stats_;
+    support::CacheSpillStats pipeline_load_stats_;
     std::mutex save_mutex_;
 };
 

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Shared building blocks for POM's content-addressed on-disk caches
+ * (the estimator cache in src/hls, the pipeline result cache in
+ * src/pass). Every cache that spills to a `--cache-dir` uses the same
+ * conventions:
+ *
+ *  - FNV-1a-64 content hashes, printed as 16 lowercase hex digits,
+ *  - a first line "<format-name> <version>" stamping every entry and
+ *    index file (a mismatch is a clean load error, never misread
+ *    bytes),
+ *  - a trailing "sum <hex16>" checksum line over the entry body (a
+ *    corrupt entry is skipped with a warning, the rest still load),
+ *  - full-key storage inside each entry so a hash collision can never
+ *    alias two keys,
+ *  - atomic temp-file + rename() writes so a crash mid-save leaves no
+ *    torn files.
+ *
+ * The per-cache payload encoding (estimator report fields, pipeline
+ * pass results) stays with the cache; only the container format lives
+ * here.
+ */
+
+#ifndef POM_SUPPORT_CACHE_STORE_H
+#define POM_SUPPORT_CACHE_STORE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pom::support {
+
+/** FNV-1a-64 offset basis (the seed for fnv1a64). */
+inline constexpr std::uint64_t kFnvOffset64 = 14695981039346656037ull;
+
+/** Fold @p size bytes at @p data into the running FNV-1a-64 @p hash. */
+std::uint64_t fnv1a64(const char *data, std::size_t size,
+                      std::uint64_t hash = kFnvOffset64);
+
+/** @p v as 16 lowercase hex digits (the content-address spelling). */
+std::string hex16(std::uint64_t v);
+
+/** Content address of a cache key: FNV-1a-64 of @p key, 16 hex. */
+std::string cacheContentHash(const std::string &key);
+
+/** "<formatName> <kVersionString>\n" -- first line of every file. */
+std::string cacheFormatHeader(const char *formatName);
+
+/** Append the trailing "sum <hex16>\n" checksum line to @p body. */
+std::string sealCacheEntry(const std::string &body);
+
+/**
+ * Validate the trailing checksum and the version-stamped header of a
+ * sealed entry. On success @p bodyStart points just past the header
+ * line (where cache-specific fields begin). On failure @p error gets
+ * "missing checksum line", "checksum mismatch (corrupt entry)" or a
+ * format/version mismatch diagnostic.
+ */
+bool openCacheEntry(const std::string &text, const char *formatName,
+                    std::size_t &bodyStart, std::string &error);
+
+/** Cursor over an entry text: strict line-oriented reads. */
+struct CacheEntryReader
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool fail(const std::string &what);
+
+    /** Read up to the next '\n' (consumed, not returned). */
+    bool line(std::string &out);
+
+    /** Read exactly @p n raw bytes plus a trailing '\n'. */
+    bool raw(std::size_t n, std::string &out);
+};
+
+/** sscanf a single %SCNu64-style field out of @p line. */
+bool scanU64(const std::string &line, const char *fmt,
+             std::uint64_t &out);
+
+/** Parse "<len>:<name>" at the front of @p rest; true on success. */
+bool splitNamed(const std::string &rest, std::string &name,
+                std::string &tail);
+
+/** Write @p content to @p path via a temp file + rename (atomic). */
+bool writeFileAtomically(const std::string &path,
+                         const std::string &content, std::string &error);
+
+/**
+ * Read the content-hash index at @p path into @p hashes. Absent file
+ * -> true with nothing read (cold start); empty file, wrong
+ * format/version or unreadable -> false with @p error.
+ */
+bool readCacheIndex(const std::string &path, const char *formatName,
+                    std::vector<std::string> &hashes, std::string &error);
+
+/** Outcome counts of one cache-directory load/save call. */
+struct CacheSpillStats
+{
+    std::size_t loaded = 0;  ///< entries read into the cache
+    std::size_t skipped = 0; ///< corrupt/missing entries warned about
+    std::size_t written = 0; ///< new object files created
+    std::size_t kept = 0;    ///< entries already present on disk
+};
+
+} // namespace pom::support
+
+#endif // POM_SUPPORT_CACHE_STORE_H

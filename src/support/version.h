@@ -28,6 +28,9 @@ inline constexpr char kProtocolName[] = "pom-service/1";
 /** On-disk estimator-cache entry/index format identifier. */
 inline constexpr char kCacheFormatName[] = "pom-estimator-cache/1";
 
+/** On-disk pipeline-result-cache entry/index format identifier. */
+inline constexpr char kPipelineCacheFormatName[] = "pom-pipeline-cache/1";
+
 } // namespace pom::support
 
 #endif // POM_SUPPORT_VERSION_H

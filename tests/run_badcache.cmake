@@ -1,0 +1,111 @@
+# Negative regression driver for the pipeline-cache spill: generate a
+# real spill with pom-opt, damage it in a controlled way, and check the
+# warm run degrades exactly as documented.
+#
+#   cmake -DPOM_OPT=<pom-opt> -DIR_FILE=<case.pom-ir> -DWORK_DIR=<dir>
+#         -DCASE=corrupt|truncated|version -P run_badcache.cmake
+#
+# CASE=corrupt    flip one byte inside a spilled object: the warm run
+#                 must skip the entry with a warning and still print
+#                 byte-identical IR (exit 0).
+# CASE=truncated  keep only the first half of an object: same contract.
+# CASE=version    stamp the index with a stale version: the warm run
+#                 must fail cleanly with a format/version mismatch.
+#
+# Prints "BADCACHE_OK: <case>" on success; the ctest registration keys
+# its PASS_REGULAR_EXPRESSION on that marker.
+
+foreach(var POM_OPT IR_FILE WORK_DIR CASE)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_badcache.cmake: ${var} not set")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(cache_dir "${WORK_DIR}/cache")
+
+set(run_args "${IR_FILE}" --pass-pipeline=strip-hls,verify
+    --pipeline-cache-dir "${cache_dir}")
+
+# Cold run: populates ${cache_dir} with pipeline.index + objects.
+execute_process(
+    COMMAND ${POM_OPT} ${run_args}
+    OUTPUT_VARIABLE cold_out
+    ERROR_VARIABLE cold_err
+    RESULT_VARIABLE cold_rc)
+if(NOT cold_rc EQUAL 0)
+    message(FATAL_ERROR
+        "cold pom-opt run failed (rc=${cold_rc}):\n${cold_err}")
+endif()
+if(NOT EXISTS "${cache_dir}/pipeline.index")
+    message(FATAL_ERROR "cold run produced no ${cache_dir}/pipeline.index")
+endif()
+
+# Damage the spill according to CASE.
+if(CASE STREQUAL "version")
+    file(READ "${cache_dir}/pipeline.index" index_text)
+    string(FIND "${index_text}" "\n" eol)
+    string(SUBSTRING "${index_text}" ${eol} -1 index_rest)
+    file(WRITE "${cache_dir}/pipeline.index"
+         "pom-pipeline-cache/1 0.0.0${index_rest}")
+else()
+    file(GLOB objects "${cache_dir}/pipeline/*")
+    list(LENGTH objects count)
+    if(count EQUAL 0)
+        message(FATAL_ERROR "cold run spilled no objects")
+    endif()
+    list(GET objects 0 victim)
+    file(READ "${victim}" object_text)
+    string(LENGTH "${object_text}" len)
+    math(EXPR mid "${len} / 2")
+    string(SUBSTRING "${object_text}" 0 ${mid} head)
+    if(CASE STREQUAL "corrupt")
+        math(EXPR after "${mid} + 1")
+        string(SUBSTRING "${object_text}" ${mid} 1 orig)
+        if(orig STREQUAL "#")
+            set(flip "!")
+        else()
+            set(flip "#")
+        endif()
+        string(SUBSTRING "${object_text}" ${after} -1 tail)
+        file(WRITE "${victim}" "${head}${flip}${tail}")
+    elseif(CASE STREQUAL "truncated")
+        file(WRITE "${victim}" "${head}")
+    else()
+        message(FATAL_ERROR "unknown CASE '${CASE}'")
+    endif()
+endif()
+
+# Warm run against the damaged spill.
+execute_process(
+    COMMAND ${POM_OPT} ${run_args}
+    OUTPUT_VARIABLE warm_out
+    ERROR_VARIABLE warm_err
+    RESULT_VARIABLE warm_rc)
+
+if(CASE STREQUAL "version")
+    if(warm_rc EQUAL 0)
+        message(FATAL_ERROR
+            "stale index version was accepted; expected a clean failure")
+    endif()
+    if(NOT warm_err MATCHES "format/version mismatch")
+        message(FATAL_ERROR
+            "expected a format/version mismatch diagnostic, got:\n${warm_err}")
+    endif()
+else()
+    if(NOT warm_rc EQUAL 0)
+        message(FATAL_ERROR
+            "warm run must survive a ${CASE} object (rc=${warm_rc}):\n${warm_err}")
+    endif()
+    if(NOT warm_err MATCHES "skipped")
+        message(FATAL_ERROR
+            "expected a skip warning for the ${CASE} object, got:\n${warm_err}")
+    endif()
+    if(NOT warm_out STREQUAL cold_out)
+        message(FATAL_ERROR
+            "warm IR differs from cold IR after a ${CASE} object")
+    endif()
+endif()
+
+message(STATUS "BADCACHE_OK: ${CASE}")

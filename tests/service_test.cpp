@@ -91,6 +91,7 @@ TEST(Protocol, RequestRoundTrip)
     req.strategy = "beam";
     req.resourceFraction = 0.75;
     req.emit = true;
+    req.jobs = 3;
 
     service::Request decoded;
     std::string error;
@@ -105,6 +106,15 @@ TEST(Protocol, RequestRoundTrip)
     EXPECT_EQ(decoded.resourceFraction, 0.75);
     EXPECT_TRUE(decoded.emit);
     EXPECT_EQ(decoded.journal, "v2");
+    EXPECT_EQ(decoded.jobs, 3);
+
+    // jobs = 0 means "daemon default" and is omitted from the wire
+    // frame, so an old daemon never sees the key.
+    req.jobs = 0;
+    std::string encoded = service::encodeRequest(req);
+    EXPECT_EQ(encoded.find("\"jobs\""), std::string::npos);
+    ASSERT_TRUE(service::decodeRequest(encoded, decoded, error)) << error;
+    EXPECT_EQ(decoded.jobs, 0);
 }
 
 TEST(Protocol, ResponseRoundTripIncludingBusy)
@@ -124,6 +134,8 @@ TEST(Protocol, ResponseRoundTripIncludingBusy)
     ok.reportLine = "latency=1 cycles";
     ok.journalText = "{\"schema\": \"pom-dse-journal/v2\"}";
     ok.cacheHits = 7;
+    ok.pipelineCacheHits = 11;
+    ok.pipelineCacheMisses = 2;
     ASSERT_TRUE(service::decodeResponse(service::encodeResponse(ok),
                                         decoded, error))
         << error;
@@ -131,6 +143,8 @@ TEST(Protocol, ResponseRoundTripIncludingBusy)
     EXPECT_EQ(decoded.reportLine, ok.reportLine);
     EXPECT_EQ(decoded.journalText, ok.journalText);
     EXPECT_EQ(decoded.cacheHits, 7);
+    EXPECT_EQ(decoded.pipelineCacheHits, 11);
+    EXPECT_EQ(decoded.pipelineCacheMisses, 2);
 }
 
 TEST(Protocol, StatsFrameRoundTripsHistogramSummaries)
@@ -297,6 +311,39 @@ TEST(Server, RejectsBadRequestsWithoutDying)
     ping.version = support::kVersionString;
     ping.method = "ping";
     EXPECT_EQ(server.execute(ping).status, "ok");
+}
+
+TEST(Server, ValidatesPerRequestJobsOverride)
+{
+    service::ServerOptions options; // default workers = 2
+    service::Server server(options);
+
+    // Oversized: a request may not claim more workers than the pool.
+    service::Request req = compileRequest("gemm", 64);
+    req.jobs = options.workers + 1;
+    service::Response resp = server.execute(req);
+    EXPECT_EQ(resp.status, "error");
+    EXPECT_NE(resp.error.find("exceeds the daemon's --workers pool"),
+              std::string::npos)
+        << resp.error;
+
+    req.jobs = -1;
+    resp = server.execute(req);
+    EXPECT_EQ(resp.status, "error");
+    EXPECT_NE(resp.error.find("non-negative"), std::string::npos)
+        << resp.error;
+
+    // jobs == workers and jobs == 0 (daemon default) are both fine,
+    // and a narrower run answers the same report as the default one.
+    req.jobs = options.workers;
+    resp = server.execute(req);
+    ASSERT_EQ(resp.status, "ok") << resp.error;
+    std::string narrow_report = resp.reportLine;
+
+    req.jobs = 0;
+    resp = server.execute(req);
+    ASSERT_EQ(resp.status, "ok") << resp.error;
+    EXPECT_EQ(resp.reportLine, narrow_report);
 }
 
 TEST(Server, CompileMatchesOneShotJournalByteForByte)

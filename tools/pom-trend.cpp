@@ -90,6 +90,10 @@ constexpr SeriesSpec kSeries[] = {
      Direction::LowerIsBetter, false, "Greedy strategy wall-clock (s)"},
     {"spill_warm_seconds", "bench.dse.spill.warm_seconds",
      Direction::LowerIsBetter, false, "Disk-warm sweep (s)"},
+    {"pipeline_cache_hit_rate", "bench.dse.pipeline.hit_rate",
+     Direction::HigherIsBetter, true, "Pipeline-cache hit rate"},
+    {"pipeline_warm_seconds", "bench.dse.pipeline.warm_seconds",
+     Direction::LowerIsBetter, false, "Pipeline-warm sweep (s)"},
     {"pass_seconds_total", "", Direction::LowerIsBetter, false,
      "Total pass pipeline time (s)"},
 };

@@ -9,6 +9,7 @@
  *        [--fuzz N] [--seed S] [--timing] [--trace-out FILE]
  *        [--metrics-out FILE] [--dse-journal FILE] [--frontier-out FILE]
  *        [--replay-journal FILE --point ID] [--cache-dir DIR]
+ *        [--pipeline-cache on|off] [--pipeline-cache-dir DIR]
  *        [--connect SOCK] [--quiet|-q] [--verbose|-v]
  *   pomc --connect SOCK --daemon-stats [--format text|json|prom]
  *   pomc --connect SOCK --daemon-shutdown
@@ -80,6 +81,20 @@
  *                       instead of re-estimating. Same on-disk format
  *                       as `pomd --cache-dir`.
  *
+ * Pipeline result cache (src/pass/pipeline_cache.h):
+ *   --pipeline-cache on|off
+ *                       memoize per-pass lowering results keyed on the
+ *                       pipeline-state fingerprint, so a DSE sweep
+ *                       skips the longest already-seen prefix of each
+ *                       candidate's pipeline. Off by default in one
+ *                       shot runs; journals, IR and HLS C are
+ *                       byte-identical either way.
+ *   --pipeline-cache-dir DIR
+ *                       same, plus load/save the content-addressed
+ *                       spill under DIR (implies --pipeline-cache on).
+ *                       Same on-disk format as `pomd
+ *                       --pipeline-cache-dir`.
+ *
  * Daemon client mode (src/service):
  *   --connect SOCK      send the compile to a running `pomd` daemon at
  *                       Unix socket SOCK instead of compiling in
@@ -130,6 +145,7 @@
 #include "obs/journal.h"
 #include "obs/obs.h"
 #include "pass/pass_manager.h"
+#include "pass/pipeline_cache.h"
 #include "service/client.h"
 #include "support/diagnostics.h"
 #include "support/string_util.h"
@@ -153,7 +169,8 @@ usage(const char *argv0)
                  "[--trace-out FILE] [--metrics-out FILE] "
                  "[--dse-journal FILE] [--frontier-out FILE] "
                  "[--replay-journal FILE --point ID] "
-                 "[--cache-dir DIR] [--connect SOCK] "
+                 "[--cache-dir DIR] [--pipeline-cache on|off] "
+                 "[--pipeline-cache-dir DIR] [--connect SOCK] "
                  "[--quiet|-q] [--verbose|-v]\n"
                  "       %s --connect SOCK --daemon-stats "
                  "[--format text|json|prom] | --daemon-shutdown\n"
@@ -210,6 +227,9 @@ main(int argc, char **argv)
     int replay_point = -1;
     dse::StrategyKind strategy = dse::StrategyKind::Greedy;
     std::string connect_sock, cache_dir;
+    std::string pipeline_cache_dir;
+    bool pipeline_cache = false, pipeline_cache_flag = false;
+    std::int64_t jobs = 0; ///< 0 = default; forwarded to --connect
     bool daemon_stats = false, daemon_shutdown = false;
     std::string stats_format = "text"; ///< --daemon-stats rendering
 
@@ -239,6 +259,19 @@ main(int argc, char **argv)
             connect_sock = argv[++a];
         } else if (arg == "--cache-dir" && a + 1 < argc) {
             cache_dir = argv[++a];
+        } else if (arg == "--pipeline-cache" && a + 1 < argc) {
+            std::string mode = argv[++a];
+            if (mode != "on" && mode != "off") {
+                std::fprintf(stderr,
+                             "pomc: --pipeline-cache expects on or "
+                             "off, got '%s'\n", mode.c_str());
+                return 2;
+            }
+            pipeline_cache = (mode == "on");
+            pipeline_cache_flag = true;
+        } else if (arg == "--pipeline-cache-dir" && a + 1 < argc) {
+            pipeline_cache_dir = argv[++a];
+            pipeline_cache_flag = true;
         } else if (arg == "--daemon-stats") {
             daemon_stats = true;
         } else if (arg == "--format" && a + 1 < argc) {
@@ -284,6 +317,7 @@ main(int argc, char **argv)
                 return 2;
             }
             support::setJobs(static_cast<int>(n));
+            jobs = n; // --connect forwards it as the request override
         } else if (arg == "--quiet" || arg == "-q") {
             support::setDiagLevel(support::DiagLevel::Error);
         } else if (arg == "--verbose" || arg == "-v") {
@@ -390,6 +424,14 @@ main(int argc, char **argv)
                         static_cast<long long>(resp.cacheSize),
                         static_cast<long long>(resp.cacheLoaded),
                         resp.cacheHitRate);
+            std::printf("pipeline:  %lld hits, %lld misses, %lld "
+                        "entries (%lld loaded from disk, hit rate "
+                        "%.2f)\n",
+                        static_cast<long long>(resp.pipelineCacheHits),
+                        static_cast<long long>(resp.pipelineCacheMisses),
+                        static_cast<long long>(resp.pipelineCacheSize),
+                        static_cast<long long>(resp.pipelineCacheLoaded),
+                        resp.pipelineCacheHitRate);
             std::printf("queue ms:  p50 %.3f, p90 %.3f, p99 %.3f "
                         "(%lld samples)\n",
                         resp.queueWaitMs.p50, resp.queueWaitMs.p90,
@@ -421,12 +463,13 @@ main(int argc, char **argv)
     // obs stays off so nothing is double-recorded.
     if (!connect_sock.empty()) {
         if (fuzz_cases > 0 || want_verify || !replay_journal.empty() ||
-            want_ast || want_dsl || !cache_dir.empty()) {
+            want_ast || want_dsl || !cache_dir.empty() ||
+            pipeline_cache_flag) {
             std::fprintf(stderr,
                          "pomc: --connect supports plain compile runs "
                          "only (no --fuzz/--verify/--replay-journal/"
-                         "--ast/--dsl/--cache-dir; the daemon owns the "
-                         "cache)\n");
+                         "--ast/--dsl/--cache-dir/--pipeline-cache"
+                         "[-dir]; the daemon owns the caches)\n");
             return 2;
         }
         if (!journal_out.empty() && !frontier_out.empty()) {
@@ -450,6 +493,7 @@ main(int argc, char **argv)
         req.strategy = dse::strategyName(strategy);
         req.resourceFraction = fraction;
         req.emit = want_emit;
+        req.jobs = jobs;
         if (!journal_out.empty())
             req.journal = "v1";
         else if (!frontier_out.empty())
@@ -532,24 +576,51 @@ main(int argc, char **argv)
             return 1;
         }
     }
+
+    // Pipeline result cache: a spill dir implies the cache itself.
+    if (!pipeline_cache_dir.empty())
+        pipeline_cache = true;
+    pass::setPipelineCacheEnabled(pipeline_cache);
+    support::CacheSpillStats pipeline_stats;
+    if (!pipeline_cache_dir.empty()) {
+        std::string cache_error;
+        if (!pass::PipelineCache::global().loadDir(
+                pipeline_cache_dir, pipeline_stats, cache_error)) {
+            std::fprintf(stderr, "pomc: %s\n", cache_error.c_str());
+            return 1;
+        }
+    }
+
     struct CacheSpiller
     {
         std::string dir;
+        std::string pipelineDir;
 
         ~CacheSpiller()
         {
-            if (dir.empty())
-                return;
-            hls::SpillStats stats;
-            std::string error;
-            if (!hls::EstimatorCache::global().saveDir(dir, stats,
-                                                       error)) {
-                std::fprintf(stderr,
-                             "pomc: cache spill failed: %s\n",
-                             error.c_str());
+            if (!dir.empty()) {
+                hls::SpillStats stats;
+                std::string error;
+                if (!hls::EstimatorCache::global().saveDir(dir, stats,
+                                                           error)) {
+                    std::fprintf(stderr,
+                                 "pomc: cache spill failed: %s\n",
+                                 error.c_str());
+                }
+            }
+            if (!pipelineDir.empty()) {
+                support::CacheSpillStats stats;
+                std::string error;
+                if (!pass::PipelineCache::global().saveDir(
+                        pipelineDir, stats, error)) {
+                    std::fprintf(stderr,
+                                 "pomc: pipeline-cache spill failed: "
+                                 "%s\n",
+                                 error.c_str());
+                }
             }
         }
-    } spiller{cache_dir};
+    } spiller{cache_dir, pipeline_cache_dir};
 
     try {
         obs::Span root_span("pomc:" + name, "tool");
@@ -682,6 +753,25 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(cache.hits()),
                         static_cast<unsigned long long>(cache.misses()),
                         cache_stats.loaded, cache_dir.c_str());
+        }
+        if (pipeline_cache) {
+            auto &pcache = pass::PipelineCache::global();
+            if (!pipeline_cache_dir.empty()) {
+                std::printf(
+                    "pipeline:  %llu hits, %llu misses (%zu "
+                    "entries loaded from %s)\n",
+                    static_cast<unsigned long long>(pcache.hits()),
+                    static_cast<unsigned long long>(pcache.misses()),
+                    pipeline_stats.loaded,
+                    pipeline_cache_dir.c_str());
+            } else {
+                std::printf(
+                    "pipeline:  %llu hits, %llu misses (%zu "
+                    "entries)\n",
+                    static_cast<unsigned long long>(pcache.hits()),
+                    static_cast<unsigned long long>(pcache.misses()),
+                    pcache.size());
+            }
         }
 
         if (want_verify) {

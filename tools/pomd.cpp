@@ -3,7 +3,8 @@
  * pomd — the POM compile daemon.
  *
  * Usage:
- *   pomd [--socket PATH] [--cache-dir DIR] [--workers N] [--queue N]
+ *   pomd [--socket PATH] [--cache-dir DIR]
+ *        [--pipeline-cache-dir DIR] [--workers N] [--queue N]
  *        [--retry-after MS] [--jobs N] [--version] [--quiet|-q]
  *        [--verbose|-v]
  *
@@ -12,7 +13,10 @@
  * pass registrations and the estimator cache warm across requests.
  * With --cache-dir the estimator cache is spilled to disk and
  * warm-loaded on the next start, so even a restarted daemon answers
- * repeated DSE requests from cache.
+ * repeated DSE requests from cache. The pipeline result cache
+ * (src/pass/pipeline_cache.h) is always on in the daemon;
+ * --pipeline-cache-dir additionally spills it to disk so restarted
+ * daemons skip already-lowered pipeline prefixes too.
  *
  * Clients: `pomc --connect PATH ...` (same flags as one-shot pomc),
  * plus `pomc --daemon-stats` and `pomc --daemon-shutdown`.
@@ -49,6 +53,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--socket PATH] [--cache-dir DIR] "
+                 "[--pipeline-cache-dir DIR] "
                  "[--workers N] [--queue N] [--retry-after MS] "
                  "[--jobs N] [--version] [--quiet|-q] [--verbose|-v]\n",
                  argv0);
@@ -80,6 +85,8 @@ main(int argc, char **argv)
             options.socketPath = argv[++a];
         } else if (arg == "--cache-dir" && a + 1 < argc) {
             options.cacheDir = argv[++a];
+        } else if (arg == "--pipeline-cache-dir" && a + 1 < argc) {
+            options.pipelineCacheDir = argv[++a];
         } else if (arg == "--workers" && a + 1 < argc) {
             std::int64_t n = intArg("--workers", argv[++a]);
             if (n < 1 || n > 64) {
@@ -150,10 +157,13 @@ main(int argc, char **argv)
     const auto &loaded = server.loadStats();
     std::fprintf(stderr,
                  "pomd %s listening on %s (%d workers, queue %d, "
-                 "cache: %zu entries warm%s)\n",
+                 "cache: %zu entries warm%s, pipeline: %zu entries "
+                 "warm%s)\n",
                  support::kVersionString, options.socketPath.c_str(),
                  options.workers, options.queueLimit, loaded.loaded,
-                 options.cacheDir.empty() ? ", no spill" : "");
+                 options.cacheDir.empty() ? ", no spill" : "",
+                 server.pipelineLoadStats().loaded,
+                 options.pipelineCacheDir.empty() ? ", no spill" : "");
     server.run();
     std::fprintf(stderr, "pomd: shutting down after %llu requests\n",
                  static_cast<unsigned long long>(
