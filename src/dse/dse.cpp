@@ -4,6 +4,8 @@
 #include <chrono>
 #include <future>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -11,8 +13,10 @@
 
 #include "check/oracle.h"
 #include "graph/dependence_graph.h"
+#include "hls/bound.h"
 #include "hls/count.h"
 #include "hls/estimator_cache.h"
+#include "hls/node_cache.h"
 #include "obs/journal.h"
 #include "obs/obs.h"
 #include "pass/pipeline_cache.h"
@@ -779,8 +783,10 @@ class Engine
             width > 1 ? &support::ThreadPool::global() : nullptr;
         std::vector<std::future<Evaluation>> stale;
 
-        // Evaluate the initial (pipeline-only) design.
-        Evaluation init = evaluate(base, units);
+        // Evaluate the initial (pipeline-only) design. Never pruned:
+        // the strategy seeds from it unconditionally, so it must carry
+        // the true estimate.
+        Evaluation init = evaluate(base, units, {}, false);
         ++points_;
         recordPoint("stage2-init", init.primitives, init.report,
                     "accepted", "initial pipeline-only design");
@@ -818,10 +824,12 @@ class Engine
                         if (!steps[sj].needsEval)
                             continue;
                         auto trial_units = unitsWith(steps[sj].degrees);
+                        // parentDegrees is copied: a stale future can
+                        // outlive the round's steps vector.
                         futures[sj] = pool->submit(
-                            [this, &base,
-                             tu = std::move(trial_units)]() {
-                                return evaluate(base, tu);
+                            [this, &base, tu = std::move(trial_units),
+                             pd = steps[sj].parentDegrees]() {
+                                return evaluate(base, tu, pd);
                             });
                         submitted[sj] = 1;
                         ++outstanding;
@@ -837,7 +845,8 @@ class Engine
                         ev = futures[si].get();
                         --outstanding;
                     } else {
-                        ev = evaluate(base, unitsWith(s.degrees));
+                        ev = evaluate(base, unitsWith(s.degrees),
+                                      s.parentDegrees);
                     }
                     pe.report = std::move(ev.report);
                     pe.primitives = std::move(ev.primitives);
@@ -1025,22 +1034,271 @@ class Engine
     }
 
     /**
+     * One unit's scheduled statements under a fixed degree, with the
+     * partition factors its unrolled loops demand and the canonical
+     * schedule fragment of each member. Memoized per (unit, degree):
+     * a unit's schedule depends only on its own base statements (the
+     * min_level probe reads just the unit's untransformed members), so
+     * the stage-2 search -- which doubles one unit per step -- recomputes
+     * only the changed unit and shares everything else.
+     */
+    struct UnitSchedule
+    {
+        std::vector<PolyStmt> stmts; ///< member order (= unit.members)
+        hls::PartitionPlan partitions;
+        std::vector<std::string> fragments;
+    };
+
+    /** Memoized schedule of unit @p ui at @p unit's current degree. */
+    std::shared_ptr<const UnitSchedule>
+    unitSchedule(const std::vector<PolyStmt> &base, size_t ui,
+                 const Unit &unit)
+    {
+        std::pair<size_t, std::int64_t> memoKey{ui, unit.degree};
+        {
+            std::lock_guard<std::mutex> lock(unitMemoMutex_);
+            auto it = unitMemo_.find(memoKey);
+            if (it != unitMemo_.end())
+                return it->second;
+        }
+        auto us = std::make_shared<UnitSchedule>();
+        size_t min_level = 0;
+        if (unit.members.size() > 1 &&
+            anyProducerRelation(base, unit.members)) {
+            min_level = sharedDepth(base, unit.members);
+        }
+        for (size_t m : unit.members) {
+            PolyStmt stmt = base[m];
+            applyParallelSchedule(stmt, unit.degree, opt_.innerUnrollCap,
+                                  func_, us->partitions, min_level);
+            us->fragments.push_back(hls::stmtScheduleFragment(stmt));
+            us->stmts.push_back(std::move(stmt));
+        }
+        // First writer wins so concurrent evaluations share one copy.
+        std::lock_guard<std::mutex> lock(unitMemoMutex_);
+        return unitMemo_.emplace(memoKey, std::move(us)).first->second;
+    }
+
+    /**
+     * Fold per-unit partition demands into one plan. Elementwise max
+     * equals the sequential accumulation of scheduleUnits(): every
+     * factor vector is full-rank (resized to the array's rank with 1s)
+     * and max is associative and commutative.
+     */
+    static hls::PartitionPlan
+    mergePartitions(
+        const std::vector<std::shared_ptr<const UnitSchedule>> &parts)
+    {
+        hls::PartitionPlan merged;
+        for (const auto &us : parts) {
+            for (const auto &[array, factors] : us->partitions) {
+                auto &dst = merged[array];
+                if (dst.size() < factors.size())
+                    dst.resize(factors.size(), 1);
+                for (size_t i = 0; i < factors.size(); ++i)
+                    dst[i] = std::max(dst[i], factors[i]);
+            }
+        }
+        return merged;
+    }
+
+    /** Name-sorted bankings of the arrays @p us's statements access. */
+    std::vector<hls::NodeArrayBanking>
+    unitBankings(const UnitSchedule &us,
+                 const hls::PartitionPlan &partitions) const
+    {
+        std::set<std::string> names;
+        for (const PolyStmt &stmt : us.stmts) {
+            for (const auto &a : stmt.accesses)
+                names.insert(a.array);
+        }
+        std::vector<hls::NodeArrayBanking> out;
+        for (const std::string &name : names) {
+            const dsl::Placeholder *p = func_.findPlaceholder(name);
+            POM_ASSERT(p != nullptr, "unknown array in DSE");
+            hls::ArrayBanking b = hls::effectiveBanking(*p, &partitions);
+            out.push_back({name, b.banks, b.complete});
+        }
+        return out;
+    }
+
+    /**
+     * Admissible-bound rejection (`--dse-prune`): when the analytic
+     * lower bound already exceeds the budget the full estimator would
+     * have rejected the point too, so skip lowering and estimation
+     * entirely. The journaled numbers become the bound's (latency 0).
+     * Returns true when the candidate was pruned.
+     */
+    bool
+    pruneCheck(
+        const std::vector<std::vector<const PolyStmt *>> &unitStmts,
+        const hls::PartitionPlan &partitions, Evaluation &ev,
+        obs::Span &span)
+    {
+        if (!opt_.prune)
+            return false;
+        hls::EstimatorOptions eo = estOptions();
+        eo.partitionOverride = &partitions;
+        hls::Resources bound =
+            hls::admissibleResourceBound(func_, unitStmts, eo);
+        if (bound.fitsIn(device_))
+            return false;
+        obs::counterAdd("dse.prune.rejected");
+        span.arg("pruned", "bound exceeds budget");
+        ev.report.resources = bound;
+        ev.report.powerW = hls::powerProxyW(bound);
+        return true;
+    }
+
+    /**
+     * Incremental candidate evaluation: fetch each unit's memoized
+     * schedule, rebuild the whole-design fingerprint from the memoized
+     * fragments (base statement order -- the same bytes the monolithic
+     * builder hashes, so materialize() still gets its guaranteed cache
+     * hit), and on a whole-design miss compose the report from
+     * content-addressed per-unit NodeReports, lowering and estimating
+     * only units whose schedule was never seen. Unit order is beta
+     * order, which is exactly the top-level order of the full AST, so
+     * the composed report is byte-identical to the monolithic path's.
+     */
+    Evaluation
+    evaluateIncremental(const std::vector<PolyStmt> &base,
+                        const std::vector<Unit> &units,
+                        const std::vector<std::int64_t> &parentDegrees,
+                        bool allowPrune)
+    {
+        obs::Span span("dse.point", "dse");
+        PointLatencyTimer pointTimer;
+        Evaluation ev;
+
+        std::vector<std::shared_ptr<const UnitSchedule>> parts;
+        parts.reserve(units.size());
+        for (size_t ui = 0; ui < units.size(); ++ui)
+            parts.push_back(unitSchedule(base, ui, units[ui]));
+        hls::PartitionPlan merged = mergePartitions(parts);
+        ev.primitives = primitivesSummary(base, units, merged);
+        span.arg("primitives", ev.primitives);
+
+        if (obs::metricsEnabled() &&
+            parentDegrees.size() == units.size()) {
+            std::int64_t changed = 0;
+            for (size_t ui = 0; ui < units.size(); ++ui)
+                changed += units[ui].degree != parentDegrees[ui];
+            obs::counterAdd("dse.delta.changed_units", changed);
+            obs::counterAdd("dse.delta.total_units",
+                            static_cast<std::int64_t>(units.size()));
+        }
+
+        if (opt_.prune && allowPrune) {
+            std::vector<std::vector<const PolyStmt *>> unitStmts;
+            for (const auto &us : parts) {
+                std::vector<const PolyStmt *> members;
+                for (const PolyStmt &stmt : us->stmts)
+                    members.push_back(&stmt);
+                unitStmts.push_back(std::move(members));
+            }
+            if (pruneCheck(unitStmts, merged, ev, span))
+                return ev;
+        }
+
+        std::vector<const std::string *> fragments(base.size(), nullptr);
+        for (size_t ui = 0; ui < units.size(); ++ui) {
+            const auto &members = units[ui].members;
+            for (size_t k = 0; k < members.size(); ++k)
+                fragments[members[k]] = &parts[ui]->fragments[k];
+        }
+        std::string key = hls::designFingerprintFragments(
+            funcDigest_, fragments, merged, estOptions());
+        if (auto hit = hls::EstimatorCache::global().lookup(key)) {
+            obs::counterAdd("dse.cache.hits");
+            ev.report = std::move(*hit);
+            ev.fromCache = true;
+            span.arg("cache", "hit");
+            span.arg("latency_cycles",
+                     static_cast<std::int64_t>(ev.report.latencyCycles));
+            return ev;
+        }
+        obs::counterAdd("dse.cache.misses");
+        span.arg("cache", "miss");
+
+        hls::EstimatorOptions eo = estOptions();
+        eo.partitionOverride = &merged;
+        std::vector<hls::NodeReport> nodes;
+        for (size_t ui = 0; ui < units.size(); ++ui) {
+            const UnitSchedule &us = *parts[ui];
+            std::vector<const std::string *> memberFragments;
+            for (const std::string &f : us.fragments)
+                memberFragments.push_back(&f);
+            std::string nodeKey = hls::nodeFingerprint(
+                funcDigest_, memberFragments, unitBankings(us, merged),
+                eo.costs);
+            if (auto cached =
+                    hls::NodeReportCache::global().lookup(nodeKey)) {
+                obs::counterAdd("dse.node_cache.hits");
+                for (auto &n : *cached)
+                    nodes.push_back(std::move(n));
+                continue;
+            }
+            obs::counterAdd("dse.node_cache.misses");
+            auto lowered = lower::lowerNodeStmts(us.stmts);
+            std::vector<hls::NodeReport> fresh =
+                hls::estimateNodes(func_, lowered, eo);
+            hls::NodeReportCache::global().store(nodeKey, fresh);
+            for (auto &n : fresh)
+                nodes.push_back(std::move(n));
+        }
+        ev.report = hls::combineNodeReports(func_, nodes, eo);
+        hls::EstimatorCache::global().store(key, ev.report);
+        span.arg("latency_cycles",
+                 static_cast<std::int64_t>(ev.report.latencyCycles));
+        return ev;
+    }
+
+    /**
      * Estimate one candidate design point without mutating the shared
      * function (partitioning goes through the estimator override) and
      * without touching the journal or the point counter -- the caller
      * merges results deterministically. Memoized in the process-wide
      * estimator cache unless the oracle must see every lowered design.
+     * With incrementalEstimate (and memoization available) the work is
+     * proportional to the units that changed relative to
+     * @p parentDegrees instead of the whole design.
+     *
+     * @p allowPrune is false for seed points the strategy accepts
+     * unconditionally (the initial pipeline-only design): the incumbent
+     * must carry the true estimate, never the bound's numbers, or later
+     * latency-improvement comparisons would diverge from the unpruned
+     * trajectory.
      */
     Evaluation
     evaluate(const std::vector<PolyStmt> &base,
-             const std::vector<Unit> &units)
+             const std::vector<Unit> &units,
+             const std::vector<std::int64_t> &parentDegrees = {},
+             bool allowPrune = true)
     {
+        if (opt_.incrementalEstimate && opt_.memoize &&
+            !opt_.verifyEachPoint) {
+            return evaluateIncremental(base, units, parentDegrees,
+                                       allowPrune);
+        }
         obs::Span span("dse.point", "dse");
         PointLatencyTimer pointTimer;
         Schedules s = scheduleUnits(base, units);
         Evaluation ev;
         ev.primitives = s.primitives;
         span.arg("primitives", ev.primitives);
+
+        if (opt_.prune && allowPrune) {
+            std::vector<std::vector<const PolyStmt *>> unitStmts;
+            for (const auto &unit : units) {
+                std::vector<const PolyStmt *> members;
+                for (size_t m : unit.members)
+                    members.push_back(&s.stmts[m]);
+                unitStmts.push_back(std::move(members));
+            }
+            if (pruneCheck(unitStmts, s.partitions, ev, span))
+                return ev;
+        }
 
         bool use_cache = opt_.memoize && !opt_.verifyEachPoint;
         std::string key;
@@ -1160,6 +1418,10 @@ class Engine
     DseOptions opt_;
     hls::Device device_;
     std::string funcDigest_;
+    std::mutex unitMemoMutex_;
+    std::map<std::pair<size_t, std::int64_t>,
+             std::shared_ptr<const UnitSchedule>>
+        unitMemo_;
     int points_ = 0;
     int verified_ = 0;
     std::vector<obs::JournalEntry> journal_;

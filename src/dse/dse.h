@@ -90,6 +90,32 @@ struct DseOptions
     bool memoize = true;
 
     /**
+     * Evaluate stage-2 candidates incrementally (`pomc
+     * --incremental-estimate`): per-unit NodeReports are memoized in
+     * the process-wide hls::NodeReportCache and composed with the pure
+     * combiner, so a candidate that differs from its parent in one
+     * unit re-lowers/re-estimates only that unit. Reports, journals
+     * and the selected design are byte-identical to the monolithic
+     * path (differentially tested + CI-gated). Requires memoize; falls
+     * back to monolithic evaluation when memoize or the cache is off,
+     * or when verifyEachPoint forces real lowering.
+     */
+    bool incrementalEstimate = true;
+
+    /**
+     * Reject candidates whose admissible resource lower bound
+     * (hls/bound.h) already exceeds the device budget *without*
+     * lowering or estimating them. The bound never exceeds the true
+     * estimate, so the full estimator would have rejected every pruned
+     * point too: trajectories, verdicts and reasons are unchanged. The
+     * journaled resource numbers of pruned points are the bound's
+     * rather than the estimator's, which is why this is off by default
+     * (the byte-compared goldens record estimator numbers); `pomc
+     * --dse-prune on` trades that for fewer evaluations.
+     */
+    bool prune = false;
+
+    /**
      * Which stage-2 search driver explores the design space (`pomc
      * --strategy`). All three maintain the same Pareto frontier and
      * produce byte-identical journals at any worker count; greedy is

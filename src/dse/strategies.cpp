@@ -106,6 +106,7 @@ class GreedyStrategy final : public SearchStrategy
                 s.needsEval = true;
                 s.degrees = degrees_;
                 s.degrees[m.unit] = m.next;
+                s.parentDegrees = degrees_;
             }
             steps.push_back(std::move(s));
         }
@@ -237,6 +238,7 @@ class BeamStrategy final : public SearchStrategy
                 StrategyStep s;
                 s.needsEval = true;
                 s.degrees = std::move(cfg);
+                s.parentDegrees = member;
                 steps.push_back(std::move(s));
                 if (consumed_ + static_cast<int>(steps.size()) >=
                     ctx_.pointBudget) {
@@ -407,6 +409,7 @@ class AnnealingStrategy final : public SearchStrategy
             StrategyStep s;
             s.needsEval = true;
             s.degrees = std::move(cfg);
+            s.parentDegrees = current_;
             steps.push_back(std::move(s));
             if (consumed_ + static_cast<int>(steps.size()) >=
                 ctx_.pointBudget) {

@@ -80,6 +80,15 @@ struct StrategyStep
 
     /** Per-unit parallelism degrees to evaluate (when needsEval). */
     std::vector<std::int64_t> degrees;
+
+    /**
+     * Degrees of the already-evaluated configuration this step was
+     * derived from (empty when there is none). All three drivers
+     * mutate exactly one unit per step, so the engine uses the parent
+     * to account node reuse (`dse.delta.*`); correctness never depends
+     * on it -- node reports are content-addressed.
+     */
+    std::vector<std::int64_t> parentDegrees;
 };
 
 /** Journal/log sink the engine hands to consume()/endRound(). */

@@ -1,0 +1,147 @@
+#include "hls/bound.h"
+
+#include <algorithm>
+#include <map>
+
+#include "hls/count.h"
+#include "support/math_util.h"
+
+namespace pom::hls {
+
+using support::ceilDiv;
+
+namespace {
+
+/** Lower bound on one single-statement unit's compute resources. */
+Resources
+unitBound(const transform::PolyStmt &stmt, const dsl::Function &func,
+          const EstimatorOptions &options)
+{
+    const OpCosts &costs = options.costs;
+    const auto &hw = stmt.sched.hwPerDim;
+    std::vector<std::int64_t> trips = avgTrips(stmt.sched.domain);
+    size_t levels = std::min(trips.size(), hw.size());
+
+    // The estimator pipelines at the outermost annotated level; with no
+    // pipeline the nest is sequential and we claim nothing.
+    size_t pipe = levels;
+    for (size_t l = 0; l < levels; ++l) {
+        if (hw[l].pipelineII) {
+            pipe = l;
+            break;
+        }
+    }
+    if (pipe == levels)
+        return {};
+
+    // Spatial copies inside the pipeline region (levels >= pipe). This
+    // equals the estimator's copies_on_path product for the statement;
+    // replication by loops outside the region only multiplies further.
+    // The estimator extends the recurrence with an operator chain only
+    // for dependences carried at a *fully unrolled* level (seqTrip 1);
+    // partially unrolled levels keep a sequential distance >= 1, so
+    // their copies never chain.
+    std::int64_t region_copies = 1;
+    int chain_ub = 0;
+    for (size_t l = pipe; l < levels; ++l) {
+        std::int64_t copies, seq_trip;
+        unrollShape(trips[l], hw[l].unrollFactor, copies, seq_trip);
+        region_copies *= copies;
+        if (seq_trip == 1) {
+            chain_ub = std::max(
+                chain_ub,
+                static_cast<int>(copies - 1) * costs.faddLat);
+        }
+    }
+
+    OpMix mix = statementOpMix(*stmt.source, costs);
+
+    // iiUb >= achieved II = max(target, recMII, resMII):
+    //  - recMII = ceil(depLat / dist) with dist >= 1 and
+    //    depLat <= max(bodyDepth, faddLat + storeLat) + chain, where
+    //    chain only arises from fully unrolled levels (chainUb);
+    //  - resMII = ceil(distinct / (2 * banks)): the estimator reads
+    //    banks from the same merged plan (partitionOverride), distinct
+    //    <= accesses * regionCopies, and completely partitioned arrays
+    //    live in registers with no port limit at all.
+    int target = *hw[pipe].pipelineII;
+    int rec_ub =
+        std::max(mix.depth, costs.faddLat + costs.storeLat) + chain_ub;
+    int res_ub = 1;
+    for (const auto &[array, count] : mix.accessesPerArray) {
+        std::int64_t banks = 1;
+        if (const dsl::Placeholder *p = func.findPlaceholder(array)) {
+            ArrayBanking b =
+                effectiveBanking(*p, options.partitionOverride);
+            if (b.complete)
+                continue;
+            banks = std::max<std::int64_t>(1, b.banks);
+        }
+        res_ub = std::max<int>(
+            res_ub, static_cast<int>(ceilDiv(
+                        static_cast<std::int64_t>(count) * region_copies,
+                        2 * banks)));
+    }
+    int ii_ub = std::max({target, rec_ub, res_ub});
+
+    // Operator instances counted against the II upper bound; identical
+    // arithmetic to the estimator's opResources, minus the structural
+    // adders it would add on top.
+    auto units = [&](int count) {
+        return static_cast<int>(
+            ceilDiv(static_cast<std::int64_t>(count) * region_copies,
+                    static_cast<std::int64_t>(std::max(1, ii_ub))));
+    };
+    Resources r;
+    int fadd = units(mix.fadd), fmul = units(mix.fmul);
+    int fdiv = units(mix.fdiv), fcmp = units(mix.fcmp);
+    int iadd = units(mix.iadd), imul = units(mix.imul);
+    r.dsp = fadd * costs.faddDsp + fmul * costs.fmulDsp +
+            fdiv * costs.fdivDsp + imul * costs.imulDsp;
+    r.lut = fadd * costs.faddLut + fmul * costs.fmulLut +
+            fdiv * costs.fdivLut + fcmp * costs.fcmpLut +
+            iadd * costs.iaddLut + imul * costs.imulLut;
+    r.ff = fadd * costs.faddFf + fmul * costs.fmulFf +
+           fdiv * costs.fdivFf + fcmp * costs.fcmpFf +
+           iadd * costs.iaddFf + imul * costs.imulFf;
+    r.ff += (fadd + fmul + fdiv + fcmp) * costs.pipelineRegFfPerCopy;
+    return r;
+}
+
+} // namespace
+
+Resources
+admissibleResourceBound(
+    const dsl::Function &func,
+    const std::vector<std::vector<const transform::PolyStmt *>> &units,
+    const EstimatorOptions &options)
+{
+    Resources folded;
+    for (const auto &members : units) {
+        if (members.size() != 1)
+            continue; // fused units contribute zero
+        Resources ub = unitBound(*members.front(), func, options);
+        if (options.sharing == SharingMode::Reuse)
+            folded = Resources::max(folded, ub);
+        else
+            folded += ub;
+    }
+
+    // Exact on-chip memory charge (mirrors combineNodeReports).
+    const std::int64_t on_chip_threshold = 1 << 17;
+    for (const dsl::Placeholder *p : func.placeholders()) {
+        std::int64_t bits = static_cast<std::int64_t>(1) *
+                            ir::bitWidth(p->elementType());
+        for (auto d : p->shape())
+            bits *= d;
+        if (bits > on_chip_threshold)
+            continue;
+        if (effectiveBanking(*p, options.partitionOverride).complete)
+            folded.ff += static_cast<int>(bits);
+        else
+            folded.bramBits += bits;
+    }
+    return folded;
+}
+
+} // namespace pom::hls

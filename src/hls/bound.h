@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Admissible analytic resource lower bound for DSE candidates,
+ * computed from the schedules alone -- no AST build, no estimator run.
+ * "Admissible" means the bound never exceeds what hls::estimate would
+ * report for the same schedules, so rejecting a candidate whose bound
+ * already exceeds the device budget is equivalent to estimating it and
+ * rejecting: the search trajectory is unchanged, only the work saved.
+ *
+ * The argument, per single-statement unit with a pipelined level p:
+ *
+ *  - The estimator's achieved II is max(target, recMII, resMII) and
+ *    each term has a schedule-visible upper bound: dependence
+ *    distances are >= 1 and bank counts are >= 1 (dual ports), while a
+ *    fully-unrolled reduction chain is at most
+ *    (maxCopies - 1) * faddLat, giving iiUb >= achieved II.
+ *  - Operator instances are ceil(opCount * copies / II), monotonically
+ *    decreasing in II; counting with iiUb therefore lower-bounds every
+ *    operator class, hence the DSP/LUT/FF charge.
+ *  - Structural overheads (bank muxes, loop control, replication by
+ *    loops outside the pipeline) only ever add resources, so ignoring
+ *    them keeps the bound below the truth.
+ *  - Units with several fused statements contribute zero (trivially
+ *    admissible).
+ *  - The on-chip memory charge (BRAM bits / register FF) depends only
+ *    on array shapes and the partition plan, so it is reproduced
+ *    exactly, and unit bounds fold with the same sharing rule as the
+ *    real combiner (elementwise max under Reuse, sum under Dataflow).
+ *
+ * A seeded property test (incremental_dse_test) checks admissibility
+ * against the full estimator across random schedules.
+ */
+
+#ifndef POM_HLS_BOUND_H
+#define POM_HLS_BOUND_H
+
+#include <vector>
+
+#include "hls/estimator.h"
+#include "transform/poly_stmt.h"
+
+namespace pom::hls {
+
+/**
+ * Lower bound on the resources hls::estimate would report for a design
+ * whose DSE units hold the given (already scheduled) statements.
+ * Banking for the memory charge comes from options.partitionOverride
+ * exactly as in the estimator.
+ */
+Resources admissibleResourceBound(
+    const dsl::Function &func,
+    const std::vector<std::vector<const transform::PolyStmt *>> &units,
+    const EstimatorOptions &options);
+
+} // namespace pom::hls
+
+#endif // POM_HLS_BOUND_H

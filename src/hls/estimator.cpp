@@ -47,15 +47,7 @@ SynthesisReport::str(const Device &device) const
 
 namespace {
 
-/** Operator mix of one statement body. */
-struct BodyCosts
-{
-    int fadd = 0, fmul = 0, fdiv = 0, fcmp = 0;
-    int iadd = 0, imul = 0;
-    int loads = 0, stores = 0;
-    int depth = 0; ///< critical path through the body, in cycles
-    std::map<std::string, int> accessesPerArray;
-};
+using BodyCosts = OpMix;
 
 /** Per-statement precomputed analysis. */
 struct StmtInfo
@@ -118,18 +110,6 @@ exprDepth(const dsl::ExprNode &node, const OpCosts &costs, BodyCosts &acc)
     return 0;
 }
 
-BodyCosts
-bodyCosts(const dsl::Compute &compute, const OpCosts &costs)
-{
-    BodyCosts acc;
-    int rhs_depth = exprDepth(*compute.rhs().node(), costs, acc);
-    // Destination store.
-    ++acc.stores;
-    ++acc.accessesPerArray[compute.dest().node()->array->name()];
-    acc.depth = rhs_depth + costs.storeLat;
-    return acc;
-}
-
 /** Partition configuration of one array. */
 struct ArrayInfo
 {
@@ -156,7 +136,7 @@ class Estimator
         for (const auto &s : lowered.stmts) {
             StmtInfo info;
             info.stmt = &s;
-            info.body = bodyCosts(*s.source, opt_.costs);
+            info.body = statementOpMix(*s.source, opt_.costs);
             info.trips = avgTrips(s.sched.domain);
             info.deps = transform::selfDependences(s);
             info.taccesses = s.transformedAccesses();
@@ -168,27 +148,17 @@ class Estimator
                       ir::bitWidth(p->elementType());
             for (auto d : p->shape())
                 ai.bits *= d;
-            if (options.partitionOverride != nullptr) {
-                auto it = options.partitionOverride->find(p->name());
-                if (it != options.partitionOverride->end()) {
-                    ai.banks = 1; // plan partitions are always cyclic
-                    for (auto f : it->second)
-                        ai.banks *= f;
-                }
-            } else if (!p->partitionFactors().empty()) {
-                ai.complete = p->partitionKind() == "complete";
-                ai.banks = 1;
-                for (auto f : p->partitionFactors())
-                    ai.banks *= f;
-            }
+            ArrayBanking ab =
+                effectiveBanking(*p, options.partitionOverride);
+            ai.banks = ab.banks;
+            ai.complete = ab.complete;
             arrays_[p->name()] = ai;
         }
     }
 
-    SynthesisReport
-    run()
+    std::vector<NodeReport>
+    runNodes()
     {
-        SynthesisReport report;
         const AstNode &root = *lowered_.astRoot;
 
         std::vector<const AstNode *> top;
@@ -199,49 +169,22 @@ class Estimator
             top.push_back(&root);
         }
 
-        Resources total;
-        std::uint64_t lat_sum = 0, lat_max = 0;
-        Resources res_max;
+        std::vector<NodeReport> nodes;
+        nodes.reserve(top.size());
         for (const AstNode *node : top) {
+            size_t first_loop = loop_reports_.size();
             Eval e = evalNode(*node, 0);
-            lat_sum += e.latency;
-            lat_max = std::max(lat_max, e.latency);
-            total += e.res;
-            res_max = Resources::max(res_max, e.res);
             const StmtInfo *leader = leaderOf(*node);
-            report.nestLatencies.emplace_back(
-                leader ? leader->stmt->sched.name : "?", e.latency);
+            NodeReport nr;
+            nr.nest = leader ? leader->stmt->sched.name : "?";
+            nr.latencyCycles = e.latency;
+            nr.resources = e.res;
+            nr.loops.assign(loop_reports_.begin() +
+                                static_cast<std::ptrdiff_t>(first_loop),
+                            loop_reports_.end());
+            nodes.push_back(std::move(nr));
         }
-        if (opt_.sharing == SharingMode::Reuse) {
-            report.latencyCycles = lat_sum;
-            report.resources = res_max;
-        } else {
-            // Dataflow: stages overlap, but unmatched computation paces
-            // between successive loops stall the FIFO handshakes (the
-            // §VII.E observation), so only part of the non-bottleneck
-            // work hides behind the bottleneck stage.
-            report.latencyCycles = lat_max + (lat_sum - lat_max) / 4;
-            report.resources = total;
-        }
-
-        // On-chip memory: arrays small enough to live in a few BRAM
-        // blocks; complete partitioning moves them into registers.
-        // Larger tensors are interface (AXI) buffers streamed from
-        // external memory, as in real designs for the paper's problem
-        // sizes (a 4096x4096 f32 matrix cannot live in 4.9 Mb of BRAM).
-        const std::int64_t on_chip_threshold = 1 << 17;
-        for (const auto &[name, ai] : arrays_) {
-            if (ai.bits > on_chip_threshold)
-                continue; // external (AXI) interface
-            if (ai.complete)
-                report.resources.ff += static_cast<int>(ai.bits);
-            else
-                report.resources.bramBits += ai.bits;
-        }
-
-        report.powerW = powerProxyW(report.resources);
-        report.loops = loop_reports_;
-        return report;
+        return nodes;
     }
 
   private:
@@ -260,20 +203,6 @@ class Estimator
                 return s;
         }
         return nullptr;
-    }
-
-    /** copies/seqTrip decomposition of a loop's unroll setting. */
-    static void
-    unrollShape(std::int64_t trip, std::int64_t factor,
-                std::int64_t &copies, std::int64_t &seq_trip)
-    {
-        if (factor == 0 || factor >= trip) {
-            copies = trip;
-            seq_trip = 1;
-        } else {
-            copies = std::max<std::int64_t>(1, factor);
-            seq_trip = ceilDiv(trip, copies);
-        }
     }
 
     Eval
@@ -559,13 +488,126 @@ class Estimator
 
 } // namespace
 
+void
+unrollShape(std::int64_t trip, std::int64_t factor, std::int64_t &copies,
+            std::int64_t &seqTrip)
+{
+    if (factor == 0 || factor >= trip) {
+        copies = trip;
+        seqTrip = 1;
+    } else {
+        copies = std::max<std::int64_t>(1, factor);
+        seqTrip = ceilDiv(trip, copies);
+    }
+}
+
+OpMix
+statementOpMix(const dsl::Compute &compute, const OpCosts &costs)
+{
+    OpMix acc;
+    int rhs_depth = exprDepth(*compute.rhs().node(), costs, acc);
+    // Destination store.
+    ++acc.stores;
+    ++acc.accessesPerArray[compute.dest().node()->array->name()];
+    acc.depth = rhs_depth + costs.storeLat;
+    return acc;
+}
+
+ArrayBanking
+effectiveBanking(const dsl::Placeholder &placeholder,
+                 const PartitionPlan *partitionOverride)
+{
+    ArrayBanking ab;
+    if (partitionOverride != nullptr) {
+        auto it = partitionOverride->find(placeholder.name());
+        if (it != partitionOverride->end()) {
+            ab.banks = 1; // plan partitions are always cyclic
+            for (auto f : it->second)
+                ab.banks *= f;
+        }
+    } else if (!placeholder.partitionFactors().empty()) {
+        ab.complete = placeholder.partitionKind() == "complete";
+        ab.banks = 1;
+        for (auto f : placeholder.partitionFactors())
+            ab.banks *= f;
+    }
+    return ab;
+}
+
+std::vector<NodeReport>
+estimateNodes(const dsl::Function &func,
+              const lower::LoweredFunction &lowered,
+              const EstimatorOptions &options)
+{
+    Estimator estimator(func, lowered, options);
+    return estimator.runNodes();
+}
+
+SynthesisReport
+combineNodeReports(const dsl::Function &func,
+                   const std::vector<NodeReport> &nodes,
+                   const EstimatorOptions &options)
+{
+    SynthesisReport report;
+    Resources total;
+    std::uint64_t lat_sum = 0, lat_max = 0;
+    Resources res_max;
+    for (const NodeReport &n : nodes) {
+        lat_sum += n.latencyCycles;
+        lat_max = std::max(lat_max, n.latencyCycles);
+        total += n.resources;
+        res_max = Resources::max(res_max, n.resources);
+        report.nestLatencies.emplace_back(n.nest, n.latencyCycles);
+        for (const LoopReport &l : n.loops)
+            report.loops.push_back(l);
+    }
+    if (options.sharing == SharingMode::Reuse) {
+        report.latencyCycles = lat_sum;
+        report.resources = res_max;
+    } else {
+        // Dataflow: stages overlap, but unmatched computation paces
+        // between successive loops stall the FIFO handshakes (the
+        // §VII.E observation), so only part of the non-bottleneck
+        // work hides behind the bottleneck stage.
+        report.latencyCycles = lat_max + (lat_sum - lat_max) / 4;
+        report.resources = total;
+    }
+
+    // On-chip memory: arrays small enough to live in a few BRAM
+    // blocks; complete partitioning moves them into registers.
+    // Larger tensors are interface (AXI) buffers streamed from
+    // external memory, as in real designs for the paper's problem
+    // sizes (a 4096x4096 f32 matrix cannot live in 4.9 Mb of BRAM).
+    // Name order matches the estimator's sorted array map.
+    const std::int64_t on_chip_threshold = 1 << 17;
+    std::map<std::string, const dsl::Placeholder *> arrays;
+    for (const dsl::Placeholder *p : func.placeholders())
+        arrays[p->name()] = p;
+    for (const auto &[name, p] : arrays) {
+        std::int64_t bits = static_cast<std::int64_t>(1) *
+                            ir::bitWidth(p->elementType());
+        for (auto d : p->shape())
+            bits *= d;
+        if (bits > on_chip_threshold)
+            continue; // external (AXI) interface
+        if (effectiveBanking(*p, options.partitionOverride).complete)
+            report.resources.ff += static_cast<int>(bits);
+        else
+            report.resources.bramBits += bits;
+    }
+
+    report.powerW = powerProxyW(report.resources);
+    return report;
+}
+
 SynthesisReport
 estimate(const dsl::Function &func, const lower::LoweredFunction &lowered,
          const EstimatorOptions &options)
 {
     obs::Span span("hls.estimate", "hls");
-    Estimator estimator(func, lowered, options);
-    SynthesisReport report = estimator.run();
+    SynthesisReport report =
+        combineNodeReports(func, estimateNodes(func, lowered, options),
+                           options);
     span.arg("latency_cycles",
              static_cast<std::int64_t>(report.latencyCycles));
     span.arg("dsp", static_cast<std::int64_t>(report.resources.dsp));

@@ -86,6 +86,62 @@ enum class SharingMode
     Dataflow, ///< each nest is a distinct pipeline stage (ScaleHLS DNN)
 };
 
+/**
+ * The synthesis contribution of one top-level AST node (= one DSE
+ * unit's loop nest). Holds only what the node's own subtree
+ * determines: its latency, its compute resources, and its pipelined
+ * loops. Everything cross-node -- the sharing fold, on-chip memory,
+ * the power proxy -- lives in combineNodeReports(), so a NodeReport is
+ * valid under any device budget and sharing mode and can be memoized
+ * across candidate design points that keep the node's schedule.
+ */
+struct NodeReport
+{
+    std::string nest; ///< leader statement name ("?" when none)
+    std::uint64_t latencyCycles = 0;
+    Resources resources;           ///< compute only, no memory fold
+    std::vector<LoopReport> loops; ///< pipelined loops, program order
+};
+
+/**
+ * Operator mix and critical path of one statement body. Public so the
+ * admissible-bound module counts operators with the exact same walk
+ * the estimator uses.
+ */
+struct OpMix
+{
+    int fadd = 0, fmul = 0, fdiv = 0, fcmp = 0;
+    int iadd = 0, imul = 0;
+    int loads = 0, stores = 0;
+    int depth = 0; ///< critical path through the body, in cycles
+    std::map<std::string, int> accessesPerArray;
+};
+
+/** Operator mix of one compute statement (destination store included). */
+OpMix statementOpMix(const dsl::Compute &compute, const OpCosts &costs);
+
+/** Effective banking of one array under the estimator's rules. */
+struct ArrayBanking
+{
+    std::int64_t banks = 1;
+    bool complete = false;
+};
+
+/**
+ * The banking the estimator applies to @p placeholder: the override
+ * plan when non-null (absent arrays stay unbanked; plan partitions are
+ * always cyclic), else the placeholder's own partition directives.
+ */
+ArrayBanking effectiveBanking(const dsl::Placeholder &placeholder,
+                              const PartitionPlan *partitionOverride);
+
+/**
+ * copies/seqTrip decomposition of a loop's unroll setting (factor 0 =
+ * full unroll). Shared by the estimator and the admissible bound.
+ */
+void unrollShape(std::int64_t trip, std::int64_t factor,
+                 std::int64_t &copies, std::int64_t &seqTrip);
+
 /** Estimator configuration. */
 struct EstimatorOptions
 {
@@ -114,6 +170,28 @@ struct EstimatorOptions
 SynthesisReport estimate(const dsl::Function &func,
                          const lower::LoweredFunction &lowered,
                          const EstimatorOptions &options = {});
+
+/**
+ * Per-node estimation: one NodeReport per top-level AST node, in
+ * program order. The lowered function may contain any subset of the
+ * design's statements -- a node's report depends only on its own
+ * statements and the banking of the arrays they access, which is what
+ * makes reports reusable across design points. Composes exactly:
+ * combineNodeReports(estimateNodes(...)) is bit-identical to
+ * estimate() on the same lowered function.
+ */
+std::vector<NodeReport> estimateNodes(const dsl::Function &func,
+                                      const lower::LoweredFunction &lowered,
+                                      const EstimatorOptions &options = {});
+
+/**
+ * Pure combiner folding node reports (in program order) into a
+ * SynthesisReport: applies the sharing mode, charges on-chip memory
+ * from @p func's arrays, and computes the power proxy.
+ */
+SynthesisReport combineNodeReports(const dsl::Function &func,
+                                   const std::vector<NodeReport> &nodes,
+                                   const EstimatorOptions &options = {});
 
 } // namespace pom::hls
 

@@ -1,6 +1,7 @@
 #include "hls/estimator_cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -8,50 +9,23 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.h"
 #include "support/cache_store.h"
 #include "support/diagnostics.h"
+#include "support/fnv_stream.h"
 #include "support/string_util.h"
 #include "support/version.h"
 
 namespace pom::hls {
 
-std::string
-scheduleFingerprint(const std::vector<transform::PolyStmt> &stmts)
-{
-    std::ostringstream os;
-    for (const auto &s : stmts) {
-        os << "stmt " << s.sched.name << "\n";
-        os << " domain " << s.sched.domain.str() << "\n";
-        os << " betas";
-        for (auto b : s.sched.betas)
-            os << " " << b;
-        os << "\n orig " << s.sched.origMap.str() << "\n";
-        for (size_t l = 0; l < s.sched.hwPerDim.size(); ++l) {
-            const auto &hw = s.sched.hwPerDim[l];
-            if (!hw.pipelineII && hw.unrollFactor == 1 &&
-                hw.independentArrays.empty()) {
-                continue;
-            }
-            os << " hw " << l << " ii="
-               << (hw.pipelineII ? *hw.pipelineII : -1)
-               << " unroll=" << hw.unrollFactor << " indep=";
-            for (const auto &a : hw.independentArrays)
-                os << a << ",";
-            os << "\n";
-        }
-    }
-    return os.str();
-}
+namespace {
 
-std::string
-designFingerprint(const std::string &funcDigest,
-                  const std::vector<transform::PolyStmt> &stmts,
-                  const PartitionPlan &plan,
-                  const EstimatorOptions &options)
+std::atomic<bool> g_fingerprint_debug_dump{false};
+
+void
+writeDesignTail(std::ostream &os, const PartitionPlan &plan,
+                const EstimatorOptions &options)
 {
-    std::ostringstream os;
-    os << "func\n" << funcDigest << "\n";
-    os << scheduleFingerprint(stmts);
     for (const auto &[array, factors] : plan) {
         os << "part " << array << " [";
         for (auto f : factors)
@@ -64,7 +38,106 @@ designFingerprint(const std::string &funcDigest,
     os << "sharing=" << (options.sharing == SharingMode::Reuse ? "reuse"
                                                                : "dataflow")
        << "\n";
-    const OpCosts &c = options.costs;
+    opCostsFingerprintTo(os, options.costs);
+}
+
+void
+writeDesignFingerprint(std::ostream &os, const std::string &funcDigest,
+                       const std::vector<transform::PolyStmt> &stmts,
+                       const PartitionPlan &plan,
+                       const EstimatorOptions &options)
+{
+    os << "func\n" << funcDigest << "\n";
+    for (const auto &s : stmts)
+        scheduleFingerprintTo(os, s);
+    writeDesignTail(os, plan, options);
+}
+
+/** Wall-clock for the *.fingerprint_ms histograms. */
+class FingerprintTimer
+{
+  public:
+    explicit FingerprintTimer(const char *histogram)
+        : histogram_(histogram), enabled_(obs::metricsEnabled()),
+          t0_(enabled_ ? std::chrono::steady_clock::now()
+                       : std::chrono::steady_clock::time_point())
+    {
+    }
+
+    ~FingerprintTimer()
+    {
+        if (enabled_) {
+            obs::histogramRecord(
+                histogram_, std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0_)
+                                .count());
+        }
+    }
+
+  private:
+    const char *histogram_;
+    bool enabled_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace
+
+void
+setFingerprintDebugDump(bool enabled)
+{
+    g_fingerprint_debug_dump.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+fingerprintDebugDump()
+{
+    return g_fingerprint_debug_dump.load(std::memory_order_relaxed);
+}
+
+void
+scheduleFingerprintTo(std::ostream &os, const transform::PolyStmt &s)
+{
+    os << "stmt " << s.sched.name << "\n";
+    os << " domain " << s.sched.domain.str() << "\n";
+    os << " betas";
+    for (auto b : s.sched.betas)
+        os << " " << b;
+    os << "\n orig " << s.sched.origMap.str() << "\n";
+    for (size_t l = 0; l < s.sched.hwPerDim.size(); ++l) {
+        const auto &hw = s.sched.hwPerDim[l];
+        if (!hw.pipelineII && hw.unrollFactor == 1 &&
+            hw.independentArrays.empty()) {
+            continue;
+        }
+        os << " hw " << l << " ii="
+           << (hw.pipelineII ? *hw.pipelineII : -1)
+           << " unroll=" << hw.unrollFactor << " indep=";
+        for (const auto &a : hw.independentArrays)
+            os << a << ",";
+        os << "\n";
+    }
+}
+
+std::string
+stmtScheduleFragment(const transform::PolyStmt &stmt)
+{
+    std::ostringstream os;
+    scheduleFingerprintTo(os, stmt);
+    return os.str();
+}
+
+std::string
+scheduleFingerprint(const std::vector<transform::PolyStmt> &stmts)
+{
+    std::ostringstream os;
+    for (const auto &s : stmts)
+        scheduleFingerprintTo(os, s);
+    return os.str();
+}
+
+void
+opCostsFingerprintTo(std::ostream &os, const OpCosts &c)
+{
     os << "costs " << c.faddLat << " " << c.fmulLat << " " << c.fdivLat
        << " " << c.fcmpLat << " " << c.iaddLat << " " << c.imulLat << " "
        << c.loadLat << " " << c.storeLat << " " << c.faddDsp << " "
@@ -76,7 +149,51 @@ designFingerprint(const std::string &funcDigest,
        << c.imulLut << " " << c.imulFf << " " << c.loopCtrlLut << " "
        << c.loopCtrlFf << " " << c.bankMuxLut << " "
        << c.pipelineRegFfPerCopy << "\n";
+}
+
+std::string
+designFingerprintText(const std::string &funcDigest,
+                      const std::vector<transform::PolyStmt> &stmts,
+                      const PartitionPlan &plan,
+                      const EstimatorOptions &options)
+{
+    std::ostringstream os;
+    writeDesignFingerprint(os, funcDigest, stmts, plan, options);
     return os.str();
+}
+
+std::string
+designFingerprint(const std::string &funcDigest,
+                  const std::vector<transform::PolyStmt> &stmts,
+                  const PartitionPlan &plan,
+                  const EstimatorOptions &options)
+{
+    FingerprintTimer timer("dse.fingerprint_ms");
+    support::FnvHashStream hash;
+    writeDesignFingerprint(hash.out(), funcDigest, stmts, plan, options);
+    if (fingerprintDebugDump()) {
+        support::diag(support::DiagLevel::Debug,
+                      "design fingerprint " + hash.digest() + ":\n" +
+                          designFingerprintText(funcDigest, stmts, plan,
+                                                options));
+    }
+    return hash.digest();
+}
+
+std::string
+designFingerprintFragments(
+    const std::string &funcDigest,
+    const std::vector<const std::string *> &stmtFragments,
+    const PartitionPlan &plan, const EstimatorOptions &options)
+{
+    FingerprintTimer timer("dse.fingerprint_ms");
+    support::FnvHashStream hash;
+    std::ostream &os = hash.out();
+    os << "func\n" << funcDigest << "\n";
+    for (const std::string *fragment : stmtFragments)
+        os << *fragment;
+    writeDesignTail(os, plan, options);
+    return hash.digest();
 }
 
 // ----- on-disk spill format ----------------------------------------------
@@ -239,7 +356,10 @@ void
 EstimatorCache::store(const std::string &key, const SynthesisReport &report)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    map_.emplace(key, report);
+    if (map_.emplace(key, report).second) {
+        order_.push_back(key);
+        evictLocked();
+    }
 }
 
 std::size_t
@@ -249,13 +369,48 @@ EstimatorCache::size() const
     return map_.size();
 }
 
+std::size_t
+EstimatorCache::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+}
+
+void
+EstimatorCache::setCapacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity;
+    evictLocked();
+}
+
+void
+EstimatorCache::evictLocked()
+{
+    if (capacity_ == 0)
+        return;
+    std::uint64_t evicted = 0;
+    while (map_.size() > capacity_ && !order_.empty()) {
+        map_.erase(order_.front());
+        order_.pop_front();
+        ++evicted;
+    }
+    if (evicted > 0) {
+        evictions_.fetch_add(evicted, std::memory_order_relaxed);
+        obs::counterAdd("dse.cache.evictions",
+                        static_cast<std::int64_t>(evicted));
+    }
+}
+
 void
 EstimatorCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     map_.clear();
+    order_.clear();
     hits_.store(0);
     misses_.store(0);
+    evictions_.store(0);
 }
 
 std::vector<std::pair<std::string, SynthesisReport>>

@@ -12,12 +12,16 @@
  * (the final DSE point, --replay-journal, a warm bench re-run) skips
  * the estimator entirely.
  *
- * The full canonical string is the cache key -- no lossy hashing, so a
- * hit can never return the report of a different schedule. The cache is
- * process-wide and thread-safe; the DSE engine feeds it from its worker
- * pool. Reports are small (a few hundred bytes), so an entry per
- * explored point is cheap; clear() exists for benchmarks that need cold
- * runs.
+ * The cache key is a 128-bit streaming FNV-1a digest of the canonical
+ * text: the serialization operators write straight into a hashing
+ * std::streambuf (support/fnv_stream.h), so the hot path never
+ * materializes the multi-KB canonical string. The textual form is
+ * still available (designFingerprintText(), or globally via
+ * setFingerprintDebugDump()) for auditing what was hashed. The cache
+ * is process-wide and thread-safe; the DSE engine feeds it from its
+ * worker pool. Reports are small (a few hundred bytes); an optional
+ * FIFO capacity (setCapacity(), `pomd --estimator-cache-cap`) bounds
+ * long-lived daemons, and clear() exists for cold-run benchmarks.
  *
  * Persistence (`pomc --cache-dir`, the pomd daemon's warm-start): the
  * cache spills to a content-addressed directory --
@@ -39,14 +43,28 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <optional>
+#include <ostream>
 #include <string>
 #include <unordered_map>
 
 #include "hls/estimator.h"
 
 namespace pom::hls {
+
+/**
+ * Write one statement's canonical schedule text (name, domain, betas,
+ * origin map, hardware annotations) to @p os. The unit of every
+ * fingerprint below; also what the DSE's per-unit memo stores so a
+ * whole-design digest can be rebuilt from unchanged fragments.
+ */
+void scheduleFingerprintTo(std::ostream &os,
+                           const transform::PolyStmt &stmt);
+
+/** One statement's canonical schedule text as a string. */
+std::string stmtScheduleFragment(const transform::PolyStmt &stmt);
 
 /**
  * Canonical text of the transformed schedules: per statement the name,
@@ -57,17 +75,55 @@ namespace pom::hls {
 std::string
 scheduleFingerprint(const std::vector<transform::PolyStmt> &stmts);
 
+/** Write the canonical "costs ..." line of @p costs to @p os. */
+void opCostsFingerprintTo(std::ostream &os, const OpCosts &costs);
+
 /**
- * Full design-point fingerprint: @p funcDigest (any canonical rendering
+ * Full design-point fingerprint: a 128-bit digest (32 hex chars) over
+ * the canonical text formed by @p funcDigest (any canonical rendering
  * of the function, stable across candidates of one search), the
  * schedule fingerprint of @p stmts, the partition plan and the
- * estimator options (device, sharing mode, operator costs).
+ * estimator options (device, sharing mode, operator costs). Streams
+ * into the hash -- no canonical string is materialized. Records a
+ * `dse.fingerprint_ms` histogram sample when metrics are enabled and
+ * dumps the canonical text at Debug level when
+ * setFingerprintDebugDump(true) is active.
  */
 std::string
 designFingerprint(const std::string &funcDigest,
                   const std::vector<transform::PolyStmt> &stmts,
                   const PartitionPlan &plan,
                   const EstimatorOptions &options);
+
+/**
+ * Same digest as designFingerprint(), but the per-statement schedule
+ * text comes from precomputed fragments (stmtScheduleFragment()) in
+ * statement order. The DSE's incremental path uses this to rebuild a
+ * whole-design key from memoized per-unit fragments; byte-equal input
+ * text guarantees the digests match the monolithic builder's.
+ */
+std::string designFingerprintFragments(
+    const std::string &funcDigest,
+    const std::vector<const std::string *> &stmtFragments,
+    const PartitionPlan &plan, const EstimatorOptions &options);
+
+/**
+ * The full canonical design-point text (what designFingerprint()
+ * hashes), for debugging and the differential tests.
+ */
+std::string
+designFingerprintText(const std::string &funcDigest,
+                      const std::vector<transform::PolyStmt> &stmts,
+                      const PartitionPlan &plan,
+                      const EstimatorOptions &options);
+
+/**
+ * When enabled, every designFingerprint() call also renders the
+ * canonical text and emits it as a Debug diagnostic (visible with -v).
+ * Costs what the streaming path saves; off by default.
+ */
+void setFingerprintDebugDump(bool enabled);
+bool fingerprintDebugDump();
 
 /** Content address of one cache entry: FNV-1a-64 of @p key, 16 hex. */
 std::string cacheEntryHash(const std::string &key);
@@ -111,7 +167,18 @@ class EstimatorCache
 
     std::uint64_t hits() const { return hits_.load(); }
     std::uint64_t misses() const { return misses_.load(); }
+    std::uint64_t evictions() const { return evictions_.load(); }
     std::size_t size() const;
+
+    /**
+     * FIFO entry cap (0 = unbounded, the default). When a store pushes
+     * the cache past the cap, the oldest inserted entries are evicted
+     * (counted in evictions() and the `dse.cache.evictions` counter).
+     * Mirrors pass::PipelineCache's policy; used by long-lived daemons
+     * via `pomd --estimator-cache-cap`.
+     */
+    std::size_t capacity() const;
+    void setCapacity(std::size_t capacity);
 
     /** Drop all entries and reset the statistics (cold-run benchmarks). */
     void clear();
@@ -145,10 +212,15 @@ class EstimatorCache
     static EstimatorCache &global();
 
   private:
+    void evictLocked();
+
     mutable std::mutex mutex_;
     std::unordered_map<std::string, SynthesisReport> map_;
+    std::deque<std::string> order_; ///< insertion order for FIFO eviction
+    std::size_t capacity_ = 0;      ///< 0 = unbounded
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
 };
 
 } // namespace pom::hls

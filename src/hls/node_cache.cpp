@@ -1,0 +1,359 @@
+#include "hls/node_cache.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/obs.h"
+#include "support/cache_store.h"
+#include "support/diagnostics.h"
+#include "support/fnv_stream.h"
+#include "support/string_util.h"
+#include "support/version.h"
+
+namespace pom::hls {
+
+std::string
+nodeFingerprint(const std::string &funcDigest,
+                const std::vector<const std::string *> &memberFragments,
+                const std::vector<NodeArrayBanking> &arrays,
+                const OpCosts &costs)
+{
+    support::FnvHashStream hash;
+    std::ostream &os = hash.out();
+    os << support::cacheFormatHeader(support::kNodeCacheFormatName);
+    os << "func\n" << funcDigest << "\n";
+    for (const std::string *fragment : memberFragments)
+        os << *fragment;
+    for (const auto &a : arrays) {
+        os << "arr " << a.array << " banks=" << a.banks
+           << " complete=" << (a.complete ? 1 : 0) << "\n";
+    }
+    opCostsFingerprintTo(os, costs);
+    return hash.digest();
+}
+
+// ----- on-disk spill format ----------------------------------------------
+
+std::string
+encodeNodeCacheEntry(const std::string &key,
+                     const std::vector<NodeReport> &nodes)
+{
+    std::ostringstream os;
+    os << support::cacheFormatHeader(support::kNodeCacheFormatName);
+    os << "key " << key.size() << "\n" << key << "\n";
+    os << "nodes " << nodes.size() << "\n";
+    for (const auto &n : nodes) {
+        os << "node " << n.nest.size() << ":" << n.nest
+           << " latency=" << n.latencyCycles
+           << " dsp=" << n.resources.dsp << " lut=" << n.resources.lut
+           << " ff=" << n.resources.ff
+           << " bram=" << n.resources.bramBits << "\n";
+        os << "loops " << n.loops.size() << "\n";
+        for (const auto &l : n.loops) {
+            os << "loop " << l.iterName.size() << ":" << l.iterName
+               << " trip=" << l.trip
+               << " target=" << (l.targetII ? std::to_string(*l.targetII)
+                                            : std::string("none"))
+               << " achieved=" << l.achievedII << " latency=" << l.latency
+               << " rec=" << l.recMII << " res=" << l.resMII << "\n";
+        }
+    }
+    return support::sealCacheEntry(os.str());
+}
+
+bool
+decodeNodeCacheEntry(const std::string &text, std::string &key,
+                     std::vector<NodeReport> &nodes, std::string &error)
+{
+    error.clear();
+    nodes.clear();
+
+    std::size_t body = 0;
+    if (!support::openCacheEntry(text, support::kNodeCacheFormatName,
+                                 body, error)) {
+        return false;
+    }
+
+    support::CacheEntryReader r{text, body};
+    std::string ln;
+    auto fail = [&](const std::string &what) {
+        error = r.error.empty() ? what : r.error;
+        return false;
+    };
+
+    if (!r.line(ln) || ln.rfind("key ", 0) != 0)
+        return fail("missing key line");
+    std::int64_t key_len = 0;
+    if (!support::parseInt64(ln.substr(4), key_len) || key_len < 0)
+        return fail("malformed key length");
+    if (!r.raw(static_cast<std::size_t>(key_len), key))
+        return fail("truncated key");
+
+    std::uint64_t node_count = 0;
+    if (!r.line(ln) || !support::scanU64(ln, "nodes %" SCNu64, node_count))
+        return fail("missing nodes count");
+    if (node_count > 1000000)
+        return fail("implausible node count");
+    for (std::uint64_t i = 0; i < node_count; ++i) {
+        if (!r.line(ln) || ln.rfind("node ", 0) != 0)
+            return fail("missing node line");
+        NodeReport node;
+        std::string tail;
+        if (!support::splitNamed(ln.substr(5), node.nest, tail))
+            return fail("malformed node name");
+        unsigned long long latency = 0;
+        long long bram = 0;
+        if (std::sscanf(tail.c_str(),
+                        " latency=%llu dsp=%d lut=%d ff=%d bram=%lld",
+                        &latency, &node.resources.dsp,
+                        &node.resources.lut, &node.resources.ff,
+                        &bram) != 5) {
+            return fail("malformed node line");
+        }
+        node.latencyCycles = latency;
+        node.resources.bramBits = bram;
+
+        std::uint64_t loop_count = 0;
+        if (!r.line(ln) ||
+            !support::scanU64(ln, "loops %" SCNu64, loop_count)) {
+            return fail("missing loops count");
+        }
+        if (loop_count > 1000000)
+            return fail("implausible loop count");
+        for (std::uint64_t j = 0; j < loop_count; ++j) {
+            if (!r.line(ln) || ln.rfind("loop ", 0) != 0)
+                return fail("missing loop line");
+            LoopReport loop;
+            std::string loop_tail;
+            if (!support::splitNamed(ln.substr(5), loop.iterName,
+                                     loop_tail)) {
+                return fail("malformed loop name");
+            }
+            char target[32] = {0};
+            long long trip = 0;
+            unsigned long long lat = 0;
+            if (std::sscanf(loop_tail.c_str(),
+                            " trip=%lld target=%31s achieved=%d "
+                            "latency=%llu rec=%d res=%d",
+                            &trip, target, &loop.achievedII, &lat,
+                            &loop.recMII, &loop.resMII) != 6) {
+                return fail("malformed loop line");
+            }
+            loop.trip = trip;
+            loop.latency = lat;
+            if (std::string(target) != "none") {
+                std::int64_t t = 0;
+                if (!support::parseInt64(target, t))
+                    return fail("malformed target II");
+                loop.targetII = static_cast<int>(t);
+            }
+            node.loops.push_back(std::move(loop));
+        }
+        nodes.push_back(std::move(node));
+    }
+    return true;
+}
+
+// ----- the in-memory cache ------------------------------------------------
+
+std::optional<std::vector<NodeReport>>
+NodeReportCache::lookup(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+void
+NodeReportCache::store(const std::string &key,
+                       const std::vector<NodeReport> &nodes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (map_.emplace(key, nodes).second) {
+        order_.push_back(key);
+        evictLocked();
+    }
+}
+
+std::size_t
+NodeReportCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+std::size_t
+NodeReportCache::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+}
+
+void
+NodeReportCache::setCapacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity;
+    evictLocked();
+}
+
+void
+NodeReportCache::evictLocked()
+{
+    if (capacity_ == 0)
+        return;
+    std::uint64_t evicted = 0;
+    while (map_.size() > capacity_ && !order_.empty()) {
+        map_.erase(order_.front());
+        order_.pop_front();
+        ++evicted;
+    }
+    if (evicted > 0) {
+        evictions_.fetch_add(evicted, std::memory_order_relaxed);
+        obs::counterAdd("dse.node_cache.evictions",
+                        static_cast<std::int64_t>(evicted));
+    }
+}
+
+void
+NodeReportCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    order_.clear();
+    hits_.store(0);
+    misses_.store(0);
+    evictions_.store(0);
+}
+
+std::vector<std::pair<std::string, std::vector<NodeReport>>>
+NodeReportCache::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, std::vector<NodeReport>>> out;
+    out.reserve(map_.size());
+    for (const auto &[key, nodes] : map_)
+        out.emplace_back(key, nodes);
+    return out;
+}
+
+namespace {
+
+namespace fs = std::filesystem;
+
+} // namespace
+
+bool
+NodeReportCache::loadDir(const std::string &dir, SpillStats &stats,
+                         std::string &error)
+{
+    stats = SpillStats();
+    error.clear();
+    fs::path root(dir);
+    std::vector<std::string> hashes;
+    if (!support::readCacheIndex((root / "nodes.index").string(),
+                                 support::kNodeCacheFormatName, hashes,
+                                 error)) {
+        return false;
+    }
+    for (const auto &hash : hashes) {
+        fs::path object = root / "nodes" / hash;
+        std::ifstream in(object, std::ios::binary);
+        if (!in) {
+            support::diag(support::DiagLevel::Warning,
+                          "node-cache entry '" + object.string() +
+                              "' is indexed but missing; skipped");
+            ++stats.skipped;
+            continue;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::string key;
+        std::vector<NodeReport> nodes;
+        std::string entry_error;
+        if (!decodeNodeCacheEntry(text.str(), key, nodes, entry_error) ||
+            support::cacheContentHash(key) != hash) {
+            support::diag(support::DiagLevel::Warning,
+                          "node-cache entry '" + object.string() +
+                              "' is unreadable (" +
+                              (entry_error.empty() ? "hash/key mismatch"
+                                                   : entry_error) +
+                              "); skipped");
+            ++stats.skipped;
+            continue;
+        }
+        store(key, nodes);
+        ++stats.loaded;
+    }
+    return true;
+}
+
+bool
+NodeReportCache::saveDir(const std::string &dir, SpillStats &stats,
+                         std::string &error) const
+{
+    stats = SpillStats();
+    error.clear();
+    fs::path root(dir);
+    fs::path objects = root / "nodes";
+    std::error_code ec;
+    fs::create_directories(objects, ec);
+    if (ec) {
+        error = "cannot create '" + objects.string() +
+                "': " + ec.message();
+        return false;
+    }
+
+    std::vector<std::string> hashes;
+    std::string index_error;
+    if (!support::readCacheIndex((root / "nodes.index").string(),
+                                 support::kNodeCacheFormatName, hashes,
+                                 index_error)) {
+        hashes.clear(); // stale-format index: rebuild from scratch
+    }
+
+    auto entries = snapshot();
+    for (const auto &[key, nodes] : entries) {
+        std::string hash = support::cacheContentHash(key);
+        fs::path object = objects / hash;
+        if (fs::exists(object, ec)) {
+            ++stats.kept;
+        } else {
+            if (!support::writeFileAtomically(
+                    object.string(), encodeNodeCacheEntry(key, nodes),
+                    error)) {
+                return false;
+            }
+            ++stats.written;
+        }
+        hashes.push_back(hash);
+    }
+
+    std::sort(hashes.begin(), hashes.end());
+    hashes.erase(std::unique(hashes.begin(), hashes.end()),
+                 hashes.end());
+    std::ostringstream index;
+    index << support::cacheFormatHeader(support::kNodeCacheFormatName);
+    for (const auto &hash : hashes)
+        index << hash << "\n";
+    return support::writeFileAtomically(
+        (root / "nodes.index").string(), index.str(), error);
+}
+
+NodeReportCache &
+NodeReportCache::global()
+{
+    static NodeReportCache *cache = new NodeReportCache();
+    return *cache;
+}
+
+} // namespace pom::hls

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Process-wide memo of per-node synthesis reports (hls::NodeReport)
+ * keyed by a *per-node fingerprint*. This is what makes stage-2 DSE
+ * candidate evaluation cost proportional to what changed: the search
+ * doubles one unit's parallelism per step, so every other unit's
+ * schedule -- and therefore its NodeReport -- recurs and is served
+ * from here instead of being re-lowered and re-estimated.
+ *
+ * The key digests exactly what a NodeReport depends on:
+ *
+ *   - the function digest (array shapes + statement bodies),
+ *   - the unit's member schedule fragments (hls::stmtScheduleFragment),
+ *   - the effective banking (banks, complete) of every array the unit
+ *     accesses under the candidate's partition plan,
+ *   - the operator cost table.
+ *
+ * Deliberately absent: the device budget, the sharing mode, and other
+ * units' schedules -- a node's latency/compute resources depend on
+ * none of them (the combiner applies device/sharing), so one cached
+ * node serves every candidate, strategy, and resource fraction that
+ * keeps the node's schedule. Content addressing also dedupes distinct
+ * parallelism degrees that clamp to the same schedule.
+ *
+ * Spills beside the estimator cache in the same content-addressed
+ * directory layout (support/cache_store conventions):
+ *
+ *   <dir>/nodes.index         list of entry hashes (atomic rewrite)
+ *   <dir>/nodes/<hash>        one entry: full key + node reports
+ *
+ * and takes the same FIFO capacity bound for long-lived daemons.
+ */
+
+#ifndef POM_HLS_NODE_CACHE_H
+#define POM_HLS_NODE_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "hls/estimator.h"
+#include "hls/estimator_cache.h"
+
+namespace pom::hls {
+
+/** One array's banking as seen by a node: name, banks, complete. */
+struct NodeArrayBanking
+{
+    std::string array;
+    std::int64_t banks = 1;
+    bool complete = false;
+};
+
+/**
+ * The per-node fingerprint: a 128-bit digest (32 hex chars) of the
+ * node-cache format stamp, @p funcDigest, the unit's member schedule
+ * fragments (statement order), the bankings of the arrays the unit
+ * accesses (caller-sorted by array name) and the cost table.
+ */
+std::string
+nodeFingerprint(const std::string &funcDigest,
+                const std::vector<const std::string *> &memberFragments,
+                const std::vector<NodeArrayBanking> &arrays,
+                const OpCosts &costs);
+
+/** Serialize one (key, reports) pair as the on-disk entry format. */
+std::string encodeNodeCacheEntry(const std::string &key,
+                                 const std::vector<NodeReport> &nodes);
+
+/** Parse an entry produced by encodeNodeCacheEntry(). */
+bool decodeNodeCacheEntry(const std::string &text, std::string &key,
+                          std::vector<NodeReport> &nodes,
+                          std::string &error);
+
+/** Thread-safe fingerprint -> NodeReport-list map with statistics. */
+class NodeReportCache
+{
+  public:
+    std::optional<std::vector<NodeReport>> lookup(const std::string &key);
+    void store(const std::string &key,
+               const std::vector<NodeReport> &nodes);
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::uint64_t evictions() const { return evictions_.load(); }
+    std::size_t size() const;
+
+    /** FIFO entry cap, 0 = unbounded (see EstimatorCache::setCapacity). */
+    std::size_t capacity() const;
+    void setCapacity(std::size_t capacity);
+
+    void clear();
+
+    std::vector<std::pair<std::string, std::vector<NodeReport>>>
+    snapshot() const;
+
+    /** Same contract as EstimatorCache::loadDir (nodes.index/nodes/). */
+    bool loadDir(const std::string &dir, SpillStats &stats,
+                 std::string &error);
+
+    /** Same contract as EstimatorCache::saveDir (nodes.index/nodes/). */
+    bool saveDir(const std::string &dir, SpillStats &stats,
+                 std::string &error) const;
+
+    /** The process-wide cache the DSE engine uses. */
+    static NodeReportCache &global();
+
+  private:
+    void evictLocked();
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::vector<NodeReport>> map_;
+    std::deque<std::string> order_;
+    std::size_t capacity_ = 0;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace pom::hls
+
+#endif // POM_HLS_NODE_CACHE_H

@@ -514,6 +514,19 @@ lowerStmts(const dsl::Function &func,
 }
 
 LoweredFunction
+lowerNodeStmts(std::vector<transform::PolyStmt> stmts)
+{
+    LoweredFunction out;
+    std::vector<ast::ScheduledStmt> sched;
+    sched.reserve(stmts.size());
+    for (const auto &s : stmts)
+        sched.push_back(s.sched);
+    out.astRoot = ast::buildAst(sched);
+    out.stmts = std::move(stmts);
+    return out;
+}
+
+LoweredFunction
 lower(const dsl::Function &func)
 {
     return runLoweringPipeline(

@@ -80,6 +80,18 @@ LoweredFunction lowerStmts(const dsl::Function &func,
                            std::vector<transform::PolyStmt> stmts,
                            bool needIr = true);
 
+/**
+ * Estimation-only lowering of a statement subset: build just the
+ * polyhedral AST over @p stmts and return it with the statements
+ * (LoweredFunction::func stays null). This is the per-node entry the
+ * incremental DSE uses to re-evaluate a single unit -- the estimator
+ * reads only stmts + astRoot, and a node's AST subtree depends only on
+ * its own statements, so the result is bit-identical to the matching
+ * subtree of a full lowerStmts(). Skips the pass pipeline entirely
+ * (no pragma hints, no IR): hls::estimateNodes never reads either.
+ */
+LoweredFunction lowerNodeStmts(std::vector<transform::PolyStmt> stmts);
+
 /** Full pipeline: extract, apply primitives, build AST, generate IR. */
 LoweredFunction lower(const dsl::Function &func);
 

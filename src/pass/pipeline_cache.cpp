@@ -1,6 +1,7 @@
 #include "pass/pipeline_cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
@@ -8,7 +9,9 @@
 #include <sstream>
 
 #include "dsl/dsl.h"
+#include "obs/obs.h"
 #include "support/diagnostics.h"
+#include "support/fnv_stream.h"
 #include "support/string_util.h"
 #include "support/version.h"
 
@@ -111,11 +114,10 @@ stmtsFingerprint(const std::vector<transform::PolyStmt> &stmts,
 
 } // namespace
 
-std::string
-pipelineStateFingerprint(const PipelineState &state,
-                         const std::string *funcText)
+void
+pipelineStateFingerprintTo(std::ostream &os, const PipelineState &state,
+                           const std::string *funcText)
 {
-    std::ostringstream os;
     if (state.dslFunc != nullptr) {
         os << "dsl\n";
         dslFingerprint(*state.dslFunc, os);
@@ -137,6 +139,14 @@ pipelineStateFingerprint(const PipelineState &state,
     } else {
         os << "ir-none\n";
     }
+}
+
+std::string
+pipelineStateFingerprint(const PipelineState &state,
+                         const std::string *funcText)
+{
+    std::ostringstream os;
+    pipelineStateFingerprintTo(os, state, funcText);
     return os.str();
 }
 
@@ -144,7 +154,11 @@ std::string
 passCacheKey(const Pass &pass, const PipelineState &state,
              const std::string *funcText)
 {
-    std::ostringstream os;
+    auto t0 = obs::metricsEnabled()
+                  ? std::chrono::steady_clock::now()
+                  : std::chrono::steady_clock::time_point();
+    support::FnvHashStream hash;
+    std::ostream &os = hash.out();
     // The version stamp makes keys from another POM release miss
     // instead of replaying a stale result (on-disk entries are
     // additionally header-stamped).
@@ -153,8 +167,15 @@ passCacheKey(const Pass &pass, const PipelineState &state,
     os << "pass " << pass.name() << "\n";
     for (const auto &[key, value] : pass.cacheOptions())
         os << "opt " << key << "=" << value << "\n";
-    os << pipelineStateFingerprint(state, funcText);
-    return os.str();
+    pipelineStateFingerprintTo(os, state, funcText);
+    if (obs::metricsEnabled()) {
+        obs::histogramRecord(
+            "pass.fingerprint_ms",
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    }
+    return hash.digest();
 }
 
 // ----- on-disk entry format ----------------------------------------------

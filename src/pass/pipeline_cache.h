@@ -14,10 +14,13 @@
  * diverging pass misses (its input fingerprint differs) and everything
  * after it runs for real.
  *
- * The full canonical string is the cache key -- no lossy hashing, so a
- * hit can never replay the result of a different state. The in-memory
- * store is size-capped (FIFO eviction) and spills to the same
- * content-addressed `--cache-dir` layout as the estimator cache:
+ * The cache key is a 128-bit streaming FNV-1a digest of the canonical
+ * text (support/fnv_stream.h): the serialization writes straight into
+ * the hashing streambuf, so hot lookups stop materializing multi-KB
+ * key strings (pipelineStateFingerprint() still renders the text for
+ * tests and debugging; `pass.fingerprint_ms` tracks hashing cost).
+ * The in-memory store is size-capped (FIFO eviction) and spills to the
+ * same content-addressed `--cache-dir` layout as the estimator cache:
  *
  *   <dir>/pipeline.index      list of entry hashes (atomic rewrite)
  *   <dir>/pipeline/<hash>     one entry: full key + payload + stats
@@ -64,18 +67,27 @@ struct PipelineCacheEntry
 };
 
 /**
- * Full cache key of one pass execution: version stamp, pass identity
- * (name + canonical options) and the state fingerprint. @p funcText,
- * when non-null, stands in for state.func's print (the PassManager
- * passes pending cached IR text so a fingerprint never forces a
- * parse).
+ * Full cache key of one pass execution: a 128-bit digest (32 hex
+ * chars) over the version stamp, pass identity (name + canonical
+ * options) and the state fingerprint, streamed into the hash without
+ * materializing the canonical text. @p funcText, when non-null, stands
+ * in for state.func's print (the PassManager passes pending cached IR
+ * text so a fingerprint never forces a parse).
  */
 std::string passCacheKey(const Pass &pass, const PipelineState &state,
                          const std::string *funcText = nullptr);
 
 /**
- * Byte-stable textual serialization of a PipelineState -- the state
- * component of passCacheKey(). Exposed separately for tests.
+ * Write the byte-stable textual serialization of a PipelineState -- the
+ * state component of passCacheKey() -- to @p os (which may be a
+ * hashing stream).
+ */
+void pipelineStateFingerprintTo(std::ostream &os,
+                                const PipelineState &state,
+                                const std::string *funcText = nullptr);
+
+/**
+ * The state serialization as a string, for tests and debugging.
  */
 std::string
 pipelineStateFingerprint(const PipelineState &state,

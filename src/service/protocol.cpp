@@ -178,6 +178,14 @@ encodeResponse(const Response &r)
               r.pipelineCacheLoaded);
         field(os, first, "pipeline_cache_hit_rate",
               r.pipelineCacheHitRate);
+        field(os, first, "node_cache_hits", r.nodeCacheHits);
+        field(os, first, "node_cache_misses", r.nodeCacheMisses);
+        field(os, first, "node_cache_size", r.nodeCacheSize);
+        field(os, first, "node_cache_loaded", r.nodeCacheLoaded);
+        field(os, first, "node_cache_hit_rate", r.nodeCacheHitRate);
+        field(os, first, "cache_evictions", r.cacheEvictions);
+        field(os, first, "node_cache_evictions",
+              r.nodeCacheEvictions);
         histogramField(os, first, "queue_wait_ms", r.queueWaitMs);
         histogramField(os, first, "service_ms", r.serviceMs);
     }
@@ -306,6 +314,20 @@ decodeResponse(const std::string &text, Response &out,
         out.pipelineCacheLoaded = v->asInt();
     if (const auto *v = doc.find("pipeline_cache_hit_rate"))
         out.pipelineCacheHitRate = v->asDouble();
+    if (const auto *v = doc.find("node_cache_hits"))
+        out.nodeCacheHits = v->asInt();
+    if (const auto *v = doc.find("node_cache_misses"))
+        out.nodeCacheMisses = v->asInt();
+    if (const auto *v = doc.find("node_cache_size"))
+        out.nodeCacheSize = v->asInt();
+    if (const auto *v = doc.find("node_cache_loaded"))
+        out.nodeCacheLoaded = v->asInt();
+    if (const auto *v = doc.find("node_cache_hit_rate"))
+        out.nodeCacheHitRate = v->asDouble();
+    if (const auto *v = doc.find("cache_evictions"))
+        out.cacheEvictions = v->asInt();
+    if (const auto *v = doc.find("node_cache_evictions"))
+        out.nodeCacheEvictions = v->asInt();
     if (const auto *v = doc.find("queue_wait_ms"))
         decodeHistogram(*v, out.queueWaitMs);
     if (const auto *v = doc.find("service_ms"))
@@ -364,6 +386,27 @@ statsPrometheus(const Response &stats)
     scalar("pomd_pipeline_cache_loaded_entries", "gauge",
            "Entries warm-loaded from the disk spill at start.",
            std::to_string(stats.pipelineCacheLoaded));
+    scalar("pomd_node_cache_hits_total", "counter",
+           "Per-node report cache hits across all requests.",
+           std::to_string(stats.nodeCacheHits));
+    scalar("pomd_node_cache_misses_total", "counter",
+           "Per-node report cache misses across all requests.",
+           std::to_string(stats.nodeCacheMisses));
+    scalar("pomd_node_cache_hit_rate", "gauge",
+           "hits / (hits + misses); 0 when idle.",
+           num(stats.nodeCacheHitRate));
+    scalar("pomd_node_cache_entries", "gauge",
+           "Entries currently in the per-node report cache.",
+           std::to_string(stats.nodeCacheSize));
+    scalar("pomd_node_cache_loaded_entries", "gauge",
+           "Entries warm-loaded from the disk spill at start.",
+           std::to_string(stats.nodeCacheLoaded));
+    scalar("pomd_estimator_cache_evictions_total", "counter",
+           "Estimator-cache entries evicted by --estimator-cache-cap.",
+           std::to_string(stats.cacheEvictions));
+    scalar("pomd_node_cache_evictions_total", "counter",
+           "Node-cache entries evicted by --estimator-cache-cap.",
+           std::to_string(stats.nodeCacheEvictions));
     scalar("pomd_request_queue_depth", "gauge",
            "Requests queued or executing right now.",
            std::to_string(stats.queueDepth));

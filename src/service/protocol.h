@@ -135,6 +135,13 @@ struct Response
     std::int64_t pipelineCacheSize = 0;
     std::int64_t pipelineCacheLoaded = 0; ///< warm-loaded from disk
     double pipelineCacheHitRate = 0.0;
+    std::int64_t nodeCacheHits = 0;   ///< per-node report cache (DSE)
+    std::int64_t nodeCacheMisses = 0;
+    std::int64_t nodeCacheSize = 0;
+    std::int64_t nodeCacheLoaded = 0; ///< warm-loaded from disk
+    double nodeCacheHitRate = 0.0;
+    std::int64_t cacheEvictions = 0;     ///< --estimator-cache-cap FIFO
+    std::int64_t nodeCacheEvictions = 0; ///< same cap, node cache
     HistogramWire queueWaitMs;  ///< dispatch -> execution start
     HistogramWire serviceMs;    ///< execution start -> response ready
 };

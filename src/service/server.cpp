@@ -7,6 +7,7 @@
 #include "baselines/baselines.h"
 #include "dse/strategy.h"
 #include "emit/hls_emitter.h"
+#include "hls/node_cache.h"
 #include "ir/parser.h"
 #include "lower/lower.h"
 #include "obs/journal.h"
@@ -76,9 +77,20 @@ bool
 Server::start(std::string &error)
 {
     lower::registerLoweringPasses();
+    // Apply the cap before the warm-load so an oversized spill is
+    // trimmed (FIFO) on the way in rather than held until first use.
+    hls::EstimatorCache::global().setCapacity(opt_.estimatorCacheCap);
+    hls::NodeReportCache::global().setCapacity(opt_.estimatorCacheCap);
     if (!opt_.cacheDir.empty() &&
         !hls::EstimatorCache::global().loadDir(opt_.cacheDir,
                                                load_stats_, error)) {
+        return false;
+    }
+    // The per-node report cache spills beside the estimator cache
+    // (nodes.index / nodes/ in the same directory).
+    if (!opt_.cacheDir.empty() &&
+        !hls::NodeReportCache::global().loadDir(
+            opt_.cacheDir, node_load_stats_, error)) {
         return false;
     }
     // The daemon always keeps the in-memory pipeline cache on: reusing
@@ -438,6 +450,24 @@ Server::statsResponse()
             ? static_cast<double>(response.pipelineCacheHits) /
                   static_cast<double>(pprobes)
             : 0.0;
+    auto &nodes = hls::NodeReportCache::global();
+    response.nodeCacheHits = static_cast<std::int64_t>(nodes.hits());
+    response.nodeCacheMisses =
+        static_cast<std::int64_t>(nodes.misses());
+    response.nodeCacheSize = static_cast<std::int64_t>(nodes.size());
+    response.nodeCacheLoaded =
+        static_cast<std::int64_t>(node_load_stats_.loaded);
+    std::int64_t nprobes =
+        response.nodeCacheHits + response.nodeCacheMisses;
+    response.nodeCacheHitRate =
+        nprobes > 0
+            ? static_cast<double>(response.nodeCacheHits) /
+                  static_cast<double>(nprobes)
+            : 0.0;
+    response.cacheEvictions =
+        static_cast<std::int64_t>(cache.evictions());
+    response.nodeCacheEvictions =
+        static_cast<std::int64_t>(nodes.evictions());
     response.queueDepth = pending_.load(std::memory_order_relaxed);
     response.queueDepthMax =
         pendingMax_.load(std::memory_order_relaxed);
@@ -467,6 +497,13 @@ Server::saveCache()
                                                    stats, error)) {
             support::diag(support::DiagLevel::Warning,
                           "pomd: cache spill failed: " + error);
+        }
+        hls::SpillStats nstats;
+        error.clear();
+        if (!hls::NodeReportCache::global().saveDir(opt_.cacheDir,
+                                                    nstats, error)) {
+            support::diag(support::DiagLevel::Warning,
+                          "pomd: node-cache spill failed: " + error);
         }
     }
     if (!opt_.pipelineCacheDir.empty()) {

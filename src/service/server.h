@@ -65,6 +65,12 @@ struct ServerOptions
      *  the point of a daemon. */
     std::string pipelineCacheDir;
 
+    /** FIFO capacity applied to the process-wide estimator and
+     *  per-node report caches; 0 = unbounded (`pomd
+     *  --estimator-cache-cap`). Evicted entries count toward the
+     *  stats frame's cache_evictions / node_cache_evictions. */
+    std::size_t estimatorCacheCap = 0;
+
     /** Concurrent request executors. */
     int workers = 2;
 
@@ -117,6 +123,12 @@ class Server
         return pipeline_load_stats_;
     }
 
+    /** Per-node report-cache entries warm-loaded at start(). */
+    const hls::SpillStats &nodeLoadStats() const
+    {
+        return node_load_stats_;
+    }
+
     std::uint64_t requestsServed() const { return served_.load(); }
 
     /**
@@ -148,6 +160,7 @@ class Server
     std::atomic<std::int64_t> nextRequestId_{0};
     std::chrono::steady_clock::time_point startTime_;
     hls::SpillStats load_stats_;
+    hls::SpillStats node_load_stats_;
     support::CacheSpillStats pipeline_load_stats_;
     std::mutex save_mutex_;
 };

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A hashing std::streambuf for canonical-fingerprint construction. The
+ * caches key their entries by a digest of a canonical textual
+ * serialization; building that text only to hash-and-discard it
+ * allocates multi-KB strings on every lookup of the DSE hot path.
+ * FnvHashStream lets the existing operator<< serialization code run
+ * unchanged while every byte is folded directly into two independent
+ * FNV-1a-64 states -- no buffer, no allocation.
+ *
+ * The digest is the concatenation of both states as 32 lowercase hex
+ * digits. Two streams with different offset bases make an accidental
+ * 128-bit collision between two distinct canonical texts implausible;
+ * the textual form remains available behind the fingerprint debug dump
+ * for auditing what was hashed.
+ */
+
+#ifndef POM_SUPPORT_FNV_STREAM_H
+#define POM_SUPPORT_FNV_STREAM_H
+
+#include <cstdint>
+#include <ostream>
+#include <streambuf>
+#include <string>
+
+#include "support/cache_store.h"
+
+namespace pom::support {
+
+/** Offset basis of the second FNV-1a-64 state (any constant distinct
+ *  from kFnvOffset64; this is the high word of the FNV-1a-128 basis). */
+inline constexpr std::uint64_t kFnvAltOffset64 = 0x6c62272e07bb0142ull;
+
+/** std::streambuf that folds every written byte into two FNV states. */
+class FnvStreambuf final : public std::streambuf
+{
+  public:
+    std::uint64_t state1 = kFnvOffset64;
+    std::uint64_t state2 = kFnvAltOffset64;
+
+  protected:
+    int_type
+    overflow(int_type ch) override
+    {
+        if (ch != traits_type::eof())
+            fold(static_cast<unsigned char>(ch));
+        return ch;
+    }
+
+    std::streamsize
+    xsputn(const char *s, std::streamsize n) override
+    {
+        for (std::streamsize i = 0; i < n; ++i)
+            fold(static_cast<unsigned char>(s[i]));
+        return n;
+    }
+
+  private:
+    void
+    fold(unsigned char c)
+    {
+        constexpr std::uint64_t prime = 1099511628211ull;
+        state1 = (state1 ^ c) * prime;
+        state2 = (state2 ^ c) * prime;
+    }
+};
+
+/** An ostream whose "output" is a 128-bit digest (32 hex digits). */
+class FnvHashStream
+{
+  public:
+    FnvHashStream() : stream_(&buf_) {}
+
+    std::ostream &out() { return stream_; }
+
+    /** Digest of everything written so far. */
+    std::string
+    digest() const
+    {
+        return hex16(buf_.state1) + hex16(buf_.state2);
+    }
+
+  private:
+    FnvStreambuf buf_;
+    std::ostream stream_;
+};
+
+} // namespace pom::support
+
+#endif // POM_SUPPORT_FNV_STREAM_H

@@ -20,7 +20,7 @@
 namespace pom::support {
 
 /** The POM release version (also the wire/cache compatibility token). */
-inline constexpr char kVersionString[] = "0.6.0";
+inline constexpr char kVersionString[] = "0.7.0";
 
 /** Wire protocol identifier (service/protocol.h frames). */
 inline constexpr char kProtocolName[] = "pom-service/1";
@@ -30,6 +30,9 @@ inline constexpr char kCacheFormatName[] = "pom-estimator-cache/1";
 
 /** On-disk pipeline-result-cache entry/index format identifier. */
 inline constexpr char kPipelineCacheFormatName[] = "pom-pipeline-cache/1";
+
+/** On-disk per-node report-cache entry/index format identifier. */
+inline constexpr char kNodeCacheFormatName[] = "pom-node-cache/1";
 
 } // namespace pom::support
 

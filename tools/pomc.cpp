@@ -10,7 +10,9 @@
  *        [--metrics-out FILE] [--dse-journal FILE] [--frontier-out FILE]
  *        [--replay-journal FILE --point ID] [--cache-dir DIR]
  *        [--pipeline-cache on|off] [--pipeline-cache-dir DIR]
- *        [--connect SOCK] [--quiet|-q] [--verbose|-v]
+ *        [--incremental-estimate on|off] [--dse-prune on|off]
+ *        [--debug-fingerprints] [--connect SOCK] [--quiet|-q]
+ *        [--verbose|-v]
  *   pomc --connect SOCK --daemon-stats [--format text|json|prom]
  *   pomc --connect SOCK --daemon-shutdown
  *   pomc --version
@@ -95,6 +97,26 @@
  *                       Same on-disk format as `pomd
  *                       --pipeline-cache-dir`.
  *
+ * Incremental estimation (src/hls/node_cache.h, src/hls/bound.h):
+ *   --incremental-estimate on|off
+ *                       compose each candidate's synthesis report from
+ *                       memoized per-node reports so a stage-2 step
+ *                       that doubles one unit re-estimates only that
+ *                       unit. On by default; reports and journals are
+ *                       byte-identical either way (the off switch
+ *                       exists for differential testing and timing).
+ *   --dse-prune on|off  reject candidates whose admissible resource
+ *                       lower bound already exceeds the device budget
+ *                       without lowering or estimating them. The search
+ *                       trajectory is unchanged (the bound never
+ *                       exceeds the true estimate); journaled numbers
+ *                       of pruned points are the bound's, hence off by
+ *                       default.
+ *   --debug-fingerprints
+ *                       dump the canonical design-fingerprint text of
+ *                       every cache key as a Debug diagnostic (use with
+ *                       -v); costs what the streaming hash saves.
+ *
  * Daemon client mode (src/service):
  *   --connect SOCK      send the compile to a running `pomd` daemon at
  *                       Unix socket SOCK instead of compiling in
@@ -142,6 +164,7 @@
 #include "dse/strategy.h"
 #include "emit/hls_emitter.h"
 #include "hls/estimator_cache.h"
+#include "hls/node_cache.h"
 #include "obs/journal.h"
 #include "obs/obs.h"
 #include "pass/pass_manager.h"
@@ -170,7 +193,9 @@ usage(const char *argv0)
                  "[--dse-journal FILE] [--frontier-out FILE] "
                  "[--replay-journal FILE --point ID] "
                  "[--cache-dir DIR] [--pipeline-cache on|off] "
-                 "[--pipeline-cache-dir DIR] [--connect SOCK] "
+                 "[--pipeline-cache-dir DIR] "
+                 "[--incremental-estimate on|off] [--dse-prune on|off] "
+                 "[--debug-fingerprints] [--connect SOCK] "
                  "[--quiet|-q] [--verbose|-v]\n"
                  "       %s --connect SOCK --daemon-stats "
                  "[--format text|json|prom] | --daemon-shutdown\n"
@@ -229,6 +254,8 @@ main(int argc, char **argv)
     std::string connect_sock, cache_dir;
     std::string pipeline_cache_dir;
     bool pipeline_cache = false, pipeline_cache_flag = false;
+    bool incremental_estimate = true;
+    bool dse_prune = false;
     std::int64_t jobs = 0; ///< 0 = default; forwarded to --connect
     bool daemon_stats = false, daemon_shutdown = false;
     std::string stats_format = "text"; ///< --daemon-stats rendering
@@ -272,6 +299,26 @@ main(int argc, char **argv)
         } else if (arg == "--pipeline-cache-dir" && a + 1 < argc) {
             pipeline_cache_dir = argv[++a];
             pipeline_cache_flag = true;
+        } else if (arg == "--incremental-estimate" && a + 1 < argc) {
+            std::string mode = argv[++a];
+            if (mode != "on" && mode != "off") {
+                std::fprintf(stderr,
+                             "pomc: --incremental-estimate expects on "
+                             "or off, got '%s'\n", mode.c_str());
+                return 2;
+            }
+            incremental_estimate = (mode == "on");
+        } else if (arg == "--dse-prune" && a + 1 < argc) {
+            std::string mode = argv[++a];
+            if (mode != "on" && mode != "off") {
+                std::fprintf(stderr,
+                             "pomc: --dse-prune expects on or off, "
+                             "got '%s'\n", mode.c_str());
+                return 2;
+            }
+            dse_prune = (mode == "on");
+        } else if (arg == "--debug-fingerprints") {
+            hls::setFingerprintDebugDump(true);
         } else if (arg == "--daemon-stats") {
             daemon_stats = true;
         } else if (arg == "--format" && a + 1 < argc) {
@@ -432,6 +479,21 @@ main(int argc, char **argv)
                         static_cast<long long>(resp.pipelineCacheSize),
                         static_cast<long long>(resp.pipelineCacheLoaded),
                         resp.pipelineCacheHitRate);
+            std::printf("nodes:     %lld hits, %lld misses, %lld "
+                        "entries (%lld loaded from disk, hit rate "
+                        "%.2f)\n",
+                        static_cast<long long>(resp.nodeCacheHits),
+                        static_cast<long long>(resp.nodeCacheMisses),
+                        static_cast<long long>(resp.nodeCacheSize),
+                        static_cast<long long>(resp.nodeCacheLoaded),
+                        resp.nodeCacheHitRate);
+            if (resp.cacheEvictions > 0 || resp.nodeCacheEvictions > 0) {
+                std::printf("evicted:   %lld estimator, %lld node "
+                            "entries (--estimator-cache-cap)\n",
+                            static_cast<long long>(resp.cacheEvictions),
+                            static_cast<long long>(
+                                resp.nodeCacheEvictions));
+            }
             std::printf("queue ms:  p50 %.3f, p90 %.3f, p99 %.3f "
                         "(%lld samples)\n",
                         resp.queueWaitMs.p50, resp.queueWaitMs.p90,
@@ -575,6 +637,14 @@ main(int argc, char **argv)
             std::fprintf(stderr, "pomc: %s\n", cache_error.c_str());
             return 1;
         }
+        // The per-node report cache spills beside the estimator cache
+        // (nodes.index / nodes/ in the same directory).
+        hls::SpillStats node_stats;
+        if (!hls::NodeReportCache::global().loadDir(
+                cache_dir, node_stats, cache_error)) {
+            std::fprintf(stderr, "pomc: %s\n", cache_error.c_str());
+            return 1;
+        }
     }
 
     // Pipeline result cache: a spill dir implies the cache itself.
@@ -605,6 +675,13 @@ main(int argc, char **argv)
                                                            error)) {
                     std::fprintf(stderr,
                                  "pomc: cache spill failed: %s\n",
+                                 error.c_str());
+                }
+                hls::SpillStats node_stats;
+                if (!hls::NodeReportCache::global().saveDir(
+                        dir, node_stats, error)) {
+                    std::fprintf(stderr,
+                                 "pomc: node-cache spill failed: %s\n",
                                  error.c_str());
                 }
             }
@@ -708,6 +785,8 @@ main(int argc, char **argv)
         baselines::BaselineOptions opt;
         opt.resourceFraction = fraction;
         opt.strategy = strategy;
+        opt.incrementalEstimate = incremental_estimate;
+        opt.prune = dse_prune;
 
         if (!frontier_out.empty() && framework != "pom") {
             std::fprintf(stderr, "pomc: --frontier-out requires a POM "

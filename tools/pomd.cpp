@@ -4,19 +4,26 @@
  *
  * Usage:
  *   pomd [--socket PATH] [--cache-dir DIR]
- *        [--pipeline-cache-dir DIR] [--workers N] [--queue N]
- *        [--retry-after MS] [--jobs N] [--version] [--quiet|-q]
- *        [--verbose|-v]
+ *        [--pipeline-cache-dir DIR] [--estimator-cache-cap N]
+ *        [--workers N] [--queue N] [--retry-after MS] [--jobs N]
+ *        [--version] [--quiet|-q] [--verbose|-v]
  *
  * Listens on a Unix-domain socket and serves concurrent compile/DSE
  * and pass-pipeline requests (see src/service/protocol.h), keeping
  * pass registrations and the estimator cache warm across requests.
- * With --cache-dir the estimator cache is spilled to disk and
- * warm-loaded on the next start, so even a restarted daemon answers
- * repeated DSE requests from cache. The pipeline result cache
+ * With --cache-dir the estimator cache AND the per-node report cache
+ * (src/hls/node_cache.h) are spilled to disk and warm-loaded on the
+ * next start, so even a restarted daemon answers repeated DSE
+ * requests from cache. The pipeline result cache
  * (src/pass/pipeline_cache.h) is always on in the daemon;
  * --pipeline-cache-dir additionally spills it to disk so restarted
  * daemons skip already-lowered pipeline prefixes too.
+ *
+ * --estimator-cache-cap bounds both in-memory caches to N entries
+ * each (FIFO eviction, 0 = unbounded); evictions are visible as
+ * cache_evictions / node_cache_evictions in the stats frame and as
+ * the dse.cache.evictions counter in metrics JSON. A long-lived
+ * daemon sweeping many workloads can otherwise grow without bound.
  *
  * Clients: `pomc --connect PATH ...` (same flags as one-shot pomc),
  * plus `pomc --daemon-stats` and `pomc --daemon-shutdown`.
@@ -54,6 +61,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--socket PATH] [--cache-dir DIR] "
                  "[--pipeline-cache-dir DIR] "
+                 "[--estimator-cache-cap N] "
                  "[--workers N] [--queue N] [--retry-after MS] "
                  "[--jobs N] [--version] [--quiet|-q] [--verbose|-v]\n",
                  argv0);
@@ -87,6 +95,17 @@ main(int argc, char **argv)
             options.cacheDir = argv[++a];
         } else if (arg == "--pipeline-cache-dir" && a + 1 < argc) {
             options.pipelineCacheDir = argv[++a];
+        } else if (arg == "--estimator-cache-cap" && a + 1 < argc) {
+            std::int64_t n = intArg("--estimator-cache-cap", argv[++a]);
+            if (n < 0) {
+                std::fprintf(stderr,
+                             "pomd: --estimator-cache-cap expects a "
+                             "non-negative entry count (0 = "
+                             "unbounded), got '%s'\n",
+                             argv[a]);
+                return 2;
+            }
+            options.estimatorCacheCap = static_cast<std::size_t>(n);
         } else if (arg == "--workers" && a + 1 < argc) {
             std::int64_t n = intArg("--workers", argv[++a]);
             if (n < 1 || n > 64) {
@@ -157,11 +176,12 @@ main(int argc, char **argv)
     const auto &loaded = server.loadStats();
     std::fprintf(stderr,
                  "pomd %s listening on %s (%d workers, queue %d, "
-                 "cache: %zu entries warm%s, pipeline: %zu entries "
-                 "warm%s)\n",
+                 "cache: %zu entries warm%s, nodes: %zu warm, "
+                 "pipeline: %zu entries warm%s)\n",
                  support::kVersionString, options.socketPath.c_str(),
                  options.workers, options.queueLimit, loaded.loaded,
                  options.cacheDir.empty() ? ", no spill" : "",
+                 server.nodeLoadStats().loaded,
                  server.pipelineLoadStats().loaded,
                  options.pipelineCacheDir.empty() ? ", no spill" : "");
     server.run();
